@@ -1,0 +1,97 @@
+// Command cdnexp regenerates the data behind the paper's evaluation
+// figures (Fig. 2, 3a, 3b, 5, 6a-d, 7a-d, 8, 9) as text tables.
+//
+// Usage:
+//
+//	cdnexp [flags] [experiment ...]
+//
+// With no arguments every paper experiment runs in order. Experiments:
+//
+//	paper:      fig2 fig3a fig3b fig5 fig6 fig7 fig8 fig9 (or "all")
+//	extensions: ext-hier ext-churn ext-reactive (or "ext")
+//	ablations:  abl-guides abl-theta abl-prediction abl-mcmf abl-cluster
+//	everything: "everything"
+//
+// Flags:
+//
+//	-seed N     seed (default 1)
+//	-scale F    world scale in (0, 1]; 1 = paper scale (default 1)
+//	-csv DIR    also write each figure's data as CSV into DIR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	crowdcdn "repro"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "cdnexp: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cdnexp", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "seed")
+	scale := fs.Float64("scale", 1, "world scale in (0, 1]; 1 reproduces paper scale")
+	csvDir := fs.String("csv", "", "also write each figure's data as CSV into this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ids := fs.Args()
+	switch {
+	case len(ids) == 0, len(ids) == 1 && ids[0] == "all":
+		ids = crowdcdn.ExperimentIDs()
+	case len(ids) == 1 && ids[0] == "ext":
+		ids = crowdcdn.ExtensionExperimentIDs()
+	case len(ids) == 1 && ids[0] == "everything":
+		ids = append(crowdcdn.ExperimentIDs(), crowdcdn.ExtensionExperimentIDs()...)
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return fmt.Errorf("creating csv directory: %w", err)
+		}
+	}
+
+	runner := crowdcdn.NewExperimentRunner(*seed, *scale)
+	for _, id := range ids {
+		figs, err := runner.Run(id)
+		if err != nil {
+			return err
+		}
+		for _, fig := range figs {
+			if err := fig.Render(os.Stdout); err != nil {
+				return err
+			}
+			if *csvDir != "" {
+				if err := writeFigureCSV(*csvDir, fig); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func writeFigureCSV(dir string, fig *crowdcdn.Figure) error {
+	path := filepath.Join(dir, fig.ID+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating %s: %w", path, err)
+	}
+	if err := fig.WriteCSV(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("closing %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+// Command cdnmeasure runs the paper's Sec. II measurement analyses
+// against a world/trace pair (or a freshly generated measurement-scale
+// one): the per-hotspot workload distribution under nearest/random
+// routing (Fig. 2), the inter-hotspot workload correlation (Fig. 3a),
+// and the content-similarity study (Fig. 3b).
+//
+// Usage:
+//
+//	cdnmeasure [flags]
+//
+//	-world FILE -trace FILE   input files (from cdntrace); when absent
+//	                          a measurement-scale world is generated
+//	-seed N                   seed (default 1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	crowdcdn "repro"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "cdnmeasure: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cdnmeasure", flag.ContinueOnError)
+	worldPath := fs.String("world", "", "world JSON file (default: generate measurement world)")
+	tracePath := fs.String("trace", "", "requests CSV file (default: generate measurement trace)")
+	seed := fs.Int64("seed", 1, "seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	world, tr, err := load(*worldPath, *tracePath, *seed)
+	if err != nil {
+		return err
+	}
+
+	analyses := []func(*crowdcdn.World, *crowdcdn.Trace, int64) (*crowdcdn.Figure, error){
+		crowdcdn.AnalyzeWorkloadDistribution,
+		crowdcdn.AnalyzeContentSimilarity,
+	}
+	if tr.Slots >= 2 {
+		analyses = append(analyses, crowdcdn.AnalyzeWorkloadCorrelation)
+	} else {
+		fmt.Println("(trace has a single slot; skipping workload correlation — regenerate with -slots 24)")
+	}
+	for _, analyze := range analyses {
+		fig, err := analyze(world, tr, *seed)
+		if err != nil {
+			return err
+		}
+		if err := fig.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func load(worldPath, tracePath string, seed int64) (*crowdcdn.World, *crowdcdn.Trace, error) {
+	if (worldPath == "") != (tracePath == "") {
+		return nil, nil, fmt.Errorf("provide both -world and -trace, or neither")
+	}
+	if worldPath == "" {
+		cfg := crowdcdn.MeasurementTraceConfig()
+		cfg.Seed = seed
+		return crowdcdn.Generate(cfg)
+	}
+	wf, err := os.Open(worldPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer wf.Close()
+	world, err := crowdcdn.ReadWorld(wf)
+	if err != nil {
+		return nil, nil, fmt.Errorf("reading %s: %w", worldPath, err)
+	}
+	tf, err := os.Open(tracePath)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer tf.Close()
+	tr, err := crowdcdn.ReadRequests(tf)
+	if err != nil {
+		return nil, nil, fmt.Errorf("reading %s: %w", tracePath, err)
+	}
+	return world, tr, nil
+}

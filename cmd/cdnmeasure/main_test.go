@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	crowdcdn "repro"
+)
+
+func writeTinyMeasurement(t *testing.T, slots int) (string, string) {
+	t.Helper()
+	cfg := crowdcdn.MeasurementTraceConfig()
+	cfg.NumHotspots = 40
+	cfg.NumVideos = 600
+	cfg.NumUsers = 500
+	cfg.NumRequests = 1500
+	cfg.NumRegions = 5
+	cfg.Slots = slots
+	world, tr, err := crowdcdn.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	worldPath := filepath.Join(dir, "world.json")
+	tracePath := filepath.Join(dir, "requests.csv")
+	wf, err := os.Create(worldPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wf.Close()
+	if err := crowdcdn.WriteWorld(wf, world); err != nil {
+		t.Fatal(err)
+	}
+	tf, err := os.Create(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	if err := crowdcdn.WriteRequests(tf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return worldPath, tracePath
+}
+
+func TestRunOnFiles(t *testing.T) {
+	worldPath, tracePath := writeTinyMeasurement(t, 8)
+	if err := run([]string{"-world", worldPath, "-trace", tracePath}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunSkipsCorrelationForSingleSlot(t *testing.T) {
+	worldPath, tracePath := writeTinyMeasurement(t, 1)
+	if err := run([]string{"-world", worldPath, "-trace", tracePath}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	worldPath, _ := writeTinyMeasurement(t, 2)
+	if err := run([]string{"-world", worldPath}); err == nil {
+		t.Error("world without trace accepted")
+	}
+	if err := run([]string{"-world", "/missing.json", "-trace", "/missing.csv"}); err == nil {
+		t.Error("missing files accepted")
+	}
+}

@@ -1,0 +1,152 @@
+// Command cdnsim runs one trace-driven simulation of a crowdsourced
+// CDN under a chosen scheduling policy and prints the paper's
+// evaluation metrics.
+//
+// Usage:
+//
+//	cdnsim [flags]
+//
+//	-world FILE -trace FILE    input files (from cdntrace); when absent
+//	                           a fresh eval-scale world is generated
+//	-scheme rbcaer|nearest|random|lp|hier|p2c|reactive-lru|reactive-lfu
+//	-radius KM                 Random/p2c routing radius (default 1.5)
+//	-churn P                   per-slot hotspot offline probability
+//	-capacity F -cache F       override capacities as fractions of the
+//	                           video-set size (0 keeps the input)
+//	-seed N                    simulation/generation seed
+//	-json                      emit metrics as JSON instead of text
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	crowdcdn "repro"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "cdnsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cdnsim", flag.ContinueOnError)
+	worldPath := fs.String("world", "", "world JSON file (default: generate eval world)")
+	tracePath := fs.String("trace", "", "requests CSV file (default: generate eval trace)")
+	schemeName := fs.String("scheme", "rbcaer", "scheduling policy: rbcaer, nearest, random, lp, hier, p2c, reactive-lru, reactive-lfu")
+	radius := fs.Float64("radius", 1.5, "Random scheme routing radius in km")
+	capFrac := fs.Float64("capacity", 0, "override service capacity as a fraction of the video set")
+	cacheFrac := fs.Float64("cache", 0, "override cache size as a fraction of the video set")
+	seed := fs.Int64("seed", 1, "simulation (and generation) seed")
+	churn := fs.Float64("churn", 0, "per-slot probability a hotspot is offline")
+	asJSON := fs.Bool("json", false, "emit metrics as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	world, tr, err := loadOrGenerate(*worldPath, *tracePath, *seed)
+	if err != nil {
+		return err
+	}
+	overrideCapacities(world, *capFrac, *cacheFrac)
+
+	var policy crowdcdn.Scheduler
+	switch *schemeName {
+	case "rbcaer":
+		policy = crowdcdn.NewRBCAer(crowdcdn.DefaultParams())
+	case "nearest":
+		policy = crowdcdn.NewNearest()
+	case "random":
+		policy = crowdcdn.NewRandom(*radius)
+	case "lp":
+		policy = crowdcdn.NewLPBased()
+	case "hier":
+		policy = crowdcdn.NewHierarchical(0)
+	case "p2c":
+		policy = crowdcdn.NewPowerOfTwo(*radius)
+	case "reactive-lru":
+		policy = crowdcdn.NewReactiveLRU()
+	case "reactive-lfu":
+		policy = crowdcdn.NewReactiveLFU()
+	default:
+		return fmt.Errorf("unknown scheme %q (want rbcaer, nearest, random, lp, hier, p2c, reactive-lru, or reactive-lfu)", *schemeName)
+	}
+
+	m, err := crowdcdn.Simulate(world, tr, policy, crowdcdn.SimOptions{Seed: *seed, HotspotChurn: *churn})
+	if err != nil {
+		return err
+	}
+
+	if *asJSON {
+		// The per-hotspot arrays are bulky; emit the headline metrics.
+		out := map[string]interface{}{
+			"scheme":                 m.Scheme,
+			"total_requests":         m.TotalRequests,
+			"served_by_hotspot":      m.ServedByHotspot,
+			"served_by_cdn":          m.ServedByCDN,
+			"hotspot_serving_ratio":  m.HotspotServingRatio,
+			"avg_access_distance_km": m.AvgAccessDistanceKm,
+			"replicas":               m.Replicas,
+			"replication_cost":       m.ReplicationCost,
+			"cdn_server_load":        m.CDNServerLoad,
+			"scheduling_seconds":     m.SchedulingTime.Seconds(),
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	fmt.Printf("scheme:                %s\n", m.Scheme)
+	fmt.Printf("requests:              %d (%d hotspot-served, %d CDN-served)\n",
+		m.TotalRequests, m.ServedByHotspot, m.ServedByCDN)
+	fmt.Printf("hotspot serving ratio: %.4f\n", m.HotspotServingRatio)
+	fmt.Printf("avg access distance:   %.3f km\n", m.AvgAccessDistanceKm)
+	fmt.Printf("replication cost:      %.3f x video set (%d replicas)\n", m.ReplicationCost, m.Replicas)
+	fmt.Printf("CDN server load:       %.4f of original workload\n", m.CDNServerLoad)
+	fmt.Printf("scheduling time:       %v\n", m.SchedulingTime)
+	return nil
+}
+
+func loadOrGenerate(worldPath, tracePath string, seed int64) (*crowdcdn.World, *crowdcdn.Trace, error) {
+	if (worldPath == "") != (tracePath == "") {
+		return nil, nil, fmt.Errorf("provide both -world and -trace, or neither")
+	}
+	if worldPath == "" {
+		cfg := crowdcdn.DefaultTraceConfig()
+		cfg.Seed = seed
+		return crowdcdn.Generate(cfg)
+	}
+	wf, err := os.Open(worldPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer wf.Close()
+	world, err := crowdcdn.ReadWorld(wf)
+	if err != nil {
+		return nil, nil, fmt.Errorf("reading %s: %w", worldPath, err)
+	}
+	tf, err := os.Open(tracePath)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer tf.Close()
+	tr, err := crowdcdn.ReadRequests(tf)
+	if err != nil {
+		return nil, nil, fmt.Errorf("reading %s: %w", tracePath, err)
+	}
+	return world, tr, nil
+}
+
+func overrideCapacities(world *crowdcdn.World, capFrac, cacheFrac float64) {
+	for i := range world.Hotspots {
+		if capFrac > 0 {
+			world.Hotspots[i].ServiceCapacity = int64(float64(world.NumVideos)*capFrac + 0.5)
+		}
+		if cacheFrac > 0 {
+			world.Hotspots[i].CacheCapacity = int(float64(world.NumVideos)*cacheFrac + 0.5)
+		}
+	}
+}

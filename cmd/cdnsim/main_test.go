@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	crowdcdn "repro"
+)
+
+// writeTinyWorld generates and persists a small world/trace pair for
+// the file-input paths.
+func writeTinyWorld(t *testing.T) (worldPath, tracePath string) {
+	t.Helper()
+	cfg := crowdcdn.DefaultTraceConfig()
+	cfg.NumHotspots = 20
+	cfg.NumVideos = 400
+	cfg.NumUsers = 300
+	cfg.NumRequests = 700
+	cfg.NumRegions = 4
+	world, tr, err := crowdcdn.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	worldPath = filepath.Join(dir, "world.json")
+	tracePath = filepath.Join(dir, "requests.csv")
+	wf, err := os.Create(worldPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wf.Close()
+	if err := crowdcdn.WriteWorld(wf, world); err != nil {
+		t.Fatal(err)
+	}
+	tf, err := os.Create(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	if err := crowdcdn.WriteRequests(tf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return worldPath, tracePath
+}
+
+func TestRunAllSchemesOnFiles(t *testing.T) {
+	worldPath, tracePath := writeTinyWorld(t)
+	schemes := []string{"rbcaer", "nearest", "random", "hier", "p2c", "reactive-lru", "reactive-lfu"}
+	for _, s := range schemes {
+		t.Run(s, func(t *testing.T) {
+			err := run([]string{
+				"-world", worldPath, "-trace", tracePath,
+				"-scheme", s, "-json",
+			})
+			if err != nil {
+				t.Fatalf("run(%s): %v", s, err)
+			}
+		})
+	}
+}
+
+func TestRunLPOnTinyWorld(t *testing.T) {
+	worldPath, tracePath := writeTinyWorld(t)
+	if err := run([]string{"-world", worldPath, "-trace", tracePath, "-scheme", "lp"}); err != nil {
+		t.Fatalf("run(lp): %v", err)
+	}
+}
+
+func TestRunWithOverridesAndChurn(t *testing.T) {
+	worldPath, tracePath := writeTinyWorld(t)
+	err := run([]string{
+		"-world", worldPath, "-trace", tracePath,
+		"-scheme", "nearest", "-capacity", "0.1", "-cache", "0.05", "-churn", "0.2",
+	})
+	if err != nil {
+		t.Fatalf("run with overrides: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	worldPath, tracePath := writeTinyWorld(t)
+	if err := run([]string{"-scheme", "bogus", "-world", worldPath, "-trace", tracePath}); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if err := run([]string{"-world", worldPath}); err == nil {
+		t.Error("world without trace accepted")
+	}
+	if err := run([]string{"-world", "/does/not/exist.json", "-trace", tracePath}); err == nil {
+		t.Error("missing world file accepted")
+	}
+	if err := run([]string{"-world", worldPath, "-trace", "/does/not/exist.csv"}); err == nil {
+		t.Error("missing trace file accepted")
+	}
+	if err := run([]string{"-churn", "2", "-world", worldPath, "-trace", tracePath}); err == nil {
+		t.Error("invalid churn accepted")
+	}
+}

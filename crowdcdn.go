@@ -1,0 +1,227 @@
+// Package crowdcdn is the public API of the crowdsourced-CDN
+// reproduction of "Joint Request Balancing and Content Aggregation in
+// Crowdsourced CDN" (Ma, Wang, Yi, Liu, Sun — ICDCS 2017).
+//
+// It re-exports the user-facing pieces of the internal packages:
+//
+//   - world and trace generation (a calibrated synthetic substitute for
+//     the paper's proprietary iQiyi / Wi-Fi AP datasets),
+//   - the RBCAer scheduler (the paper's contribution: request balancing
+//     via min-cost max-flow plus content aggregation) and the baseline
+//     policies it is compared against,
+//   - the trace-driven simulator with the paper's four evaluation
+//     metrics, and
+//   - the experiment harness that regenerates every figure of the
+//     paper's evaluation.
+//
+// A minimal end-to-end run:
+//
+//	world, tr, err := crowdcdn.Generate(crowdcdn.DefaultTraceConfig())
+//	if err != nil { ... }
+//	metrics, err := crowdcdn.Simulate(world, tr, crowdcdn.NewRBCAer(crowdcdn.DefaultParams()), crowdcdn.SimOptions{Seed: 1})
+//	if err != nil { ... }
+//	fmt.Printf("serving ratio %.3f\n", metrics.HotspotServingRatio)
+//
+// See the runnable programs under examples/ and the cmd/ tools for
+// fuller usage, and DESIGN.md / EXPERIMENTS.md for the reproduction's
+// scope and results.
+package crowdcdn
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/geo"
+	"repro/internal/predict"
+	"repro/internal/region"
+	"repro/internal/scheme"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Domain model (see internal/trace).
+type (
+	// World is the static deployment: region, hotspot fleet, catalogue
+	// size, and CDN latency proxy.
+	World = trace.World
+	// Hotspot is an edge content hotspot with service and cache
+	// capacity.
+	Hotspot = trace.Hotspot
+	// Request is one video session.
+	Request = trace.Request
+	// Trace is a sequence of requests over timeslots.
+	Trace = trace.Trace
+	// TraceConfig parameterises the synthetic world/trace generator.
+	TraceConfig = trace.Config
+	// VideoID identifies a video.
+	VideoID = trace.VideoID
+	// HotspotID identifies a hotspot.
+	HotspotID = trace.HotspotID
+	// UserID identifies a user.
+	UserID = trace.UserID
+	// Point is a planar location in kilometres.
+	Point = geo.Point
+	// Rect is an axis-aligned region in kilometres.
+	Rect = geo.Rect
+)
+
+// Scheduling (see internal/core and internal/sim).
+type (
+	// Params are RBCAer's tuning parameters.
+	Params = core.Params
+	// Demand is one slot's per-hotspot per-video aggregated demand.
+	Demand = core.Demand
+	// Plan is the output of one RBCAer scheduling round.
+	Plan = core.Plan
+	// RBCAScheduler runs RBCAer rounds directly (lower-level than the
+	// policy returned by NewRBCAer).
+	RBCAScheduler = core.Scheduler
+	// Scheduler is a simulator policy.
+	Scheduler = sim.Scheduler
+	// Metrics are the paper's evaluation metrics for one run.
+	Metrics = sim.Metrics
+	// SimOptions configure a simulation run.
+	SimOptions = sim.Options
+	// Figure is the data behind one reproduced paper figure.
+	Figure = exp.Figure
+	// ExperimentRunner regenerates the paper's figures.
+	ExperimentRunner = exp.Runner
+)
+
+// CDN is the simulator's sentinel target meaning "served by the origin
+// CDN server".
+const CDN = sim.CDN
+
+// DefaultTraceConfig returns the paper's Sec. V evaluation-scale
+// configuration (17x11 km, 310 hotspots, 15,190 videos, 212,472
+// requests).
+func DefaultTraceConfig() TraceConfig { return trace.DefaultConfig() }
+
+// MeasurementTraceConfig returns the paper's Sec. II measurement-scale
+// configuration (city-scale, 5,000 hotspots, a day of hourly slots).
+func MeasurementTraceConfig() TraceConfig { return trace.MeasurementConfig() }
+
+// Generate builds a synthetic world and request trace from the
+// configuration, deterministically in cfg.Seed.
+func Generate(cfg TraceConfig) (*World, *Trace, error) { return trace.Generate(cfg) }
+
+// DefaultParams returns RBCAer's paper-default parameters (θ1=0.5 km,
+// θ2=1.5 km, δd=0.5 km, top-20% signatures; cluster cut recalibrated
+// to this repository's trace — see DESIGN.md).
+func DefaultParams() Params { return core.DefaultParams() }
+
+// NewRBCAScheduler returns the low-level RBCAer scheduler for driving
+// rounds manually (see examples/online).
+func NewRBCAScheduler(world *World, params Params) (*RBCAScheduler, error) {
+	return core.New(world, params)
+}
+
+// NewRBCAer returns the RBCAer simulator policy.
+func NewRBCAer(params Params) Scheduler { return scheme.NewRBCAer(params) }
+
+// NewNearest returns the Nearest-routing baseline policy.
+func NewNearest() Scheduler { return scheme.Nearest{} }
+
+// NewRandom returns the local-random baseline policy with the given
+// routing radius in kilometres (the paper uses 1.5).
+func NewRandom(radiusKm float64) Scheduler { return scheme.Random{RadiusKm: radiusKm} }
+
+// NewLPBased returns the LP-relaxation baseline policy used in the
+// running-time comparison.
+func NewLPBased() Scheduler { return scheme.LPBased{} }
+
+// NewPredicted wraps a policy so it schedules on EWMA-forecast demand
+// instead of oracle per-slot demand.
+func NewPredicted(inner Scheduler, ewmaAlpha float64) Scheduler {
+	return &scheme.Predicted{Inner: inner, Method: predict.EWMA{Alpha: ewmaAlpha}}
+}
+
+// NewFactoredPredicted wraps a policy with factored demand forecasting:
+// per-hotspot totals predicted seasonally and spread over each
+// hotspot's smoothed video-share distribution — the best-performing
+// learned-demand mode (see EXPERIMENTS.md, abl-prediction).
+func NewFactoredPredicted(inner Scheduler) Scheduler {
+	return scheme.NewFactoredPredicted(inner)
+}
+
+// NewHierarchical returns the cross-region hierarchical RBCAer (the
+// extension the paper proposes via its region-partition prior work):
+// RBCAer across region-level virtual hotspots, then within each region.
+// cellKm is the region grid size (0 selects 3 km).
+func NewHierarchical(cellKm float64) Scheduler { return region.NewPolicy(cellKm) }
+
+// NewPowerOfTwo returns the power-of-two-choices baseline (related work
+// [20]): Random's caching with each request picking the less-loaded of
+// two random in-radius holders.
+func NewPowerOfTwo(radiusKm float64) Scheduler { return scheme.PowerOfTwo{RadiusKm: radiusKm} }
+
+// NewReactiveLRU returns the unmanaged-edge baseline: no prefetching,
+// per-hotspot LRU caches filled on miss.
+func NewReactiveLRU() Scheduler { return scheme.NewReactiveLRU() }
+
+// NewReactiveLFU is NewReactiveLRU with LFU eviction.
+func NewReactiveLFU() Scheduler { return scheme.NewReactiveLFU() }
+
+// Simulate replays the trace against the world under the policy and
+// returns the paper's evaluation metrics.
+func Simulate(world *World, tr *Trace, policy Scheduler, opts SimOptions) (*Metrics, error) {
+	return sim.Run(world, tr, policy, opts)
+}
+
+// NewExperimentRunner returns a harness that regenerates the paper's
+// figures. scale in (0, 1] shrinks the worlds for quick runs; 1 is
+// paper scale.
+func NewExperimentRunner(seed int64, scale float64) *ExperimentRunner {
+	return exp.NewRunner(seed, scale)
+}
+
+// ExperimentIDs lists the reproducible paper experiments in order.
+func ExperimentIDs() []string { return exp.Experiments() }
+
+// ExtensionExperimentIDs lists the experiments this reproduction adds
+// beyond the paper: the hierarchical cross-region mode, device-churn
+// robustness, the reactive-caching comparison, and the ablations.
+func ExtensionExperimentIDs() []string { return exp.ExtensionExperiments() }
+
+// AnalyzeWorkloadDistribution runs the paper's Fig. 2 measurement on
+// any world and trace: per-hotspot workload CDFs under nearest and
+// random routing, with the replication-cost comparison.
+func AnalyzeWorkloadDistribution(world *World, tr *Trace, seed int64) (*Figure, error) {
+	return exp.WorkloadDistribution(world, tr, seed)
+}
+
+// AnalyzeWorkloadCorrelation runs the paper's Fig. 3a measurement on
+// any world and multi-slot trace: the CDF of Spearman workload
+// correlation between hotspot pairs within 5 km.
+func AnalyzeWorkloadCorrelation(world *World, tr *Trace, seed int64) (*Figure, error) {
+	return exp.WorkloadCorrelation(world, tr, seed)
+}
+
+// AnalyzeContentSimilarity runs the paper's Fig. 3b measurement on any
+// world and trace: CDFs of top-20% content-set Jaccard similarity
+// between nearby hotspots at several deployment sample ratios.
+func AnalyzeContentSimilarity(world *World, tr *Trace, seed int64) (*Figure, error) {
+	return exp.ContentSimilarity(world, tr, seed)
+}
+
+// WriteWorld encodes a world as JSON (the cmd tools' world format).
+func WriteWorld(w io.Writer, world *World) error { return trace.WriteWorld(w, world) }
+
+// ReadWorld decodes and validates a world written by WriteWorld.
+func ReadWorld(r io.Reader) (*World, error) { return trace.ReadWorld(r) }
+
+// WriteRequests encodes a trace as CSV (the cmd tools' trace format).
+func WriteRequests(w io.Writer, tr *Trace) error { return trace.WriteRequests(w, tr) }
+
+// ReadRequests decodes a trace written by WriteRequests.
+func ReadRequests(r io.Reader) (*Trace, error) { return trace.ReadRequests(r) }
+
+// TraceSummary describes a world/trace pair with the measurement
+// study's key statistics (workload skew, Gini, Zipf fit).
+type TraceSummary = trace.Summary
+
+// Summarize computes a TraceSummary over nearest-hotspot aggregation.
+func Summarize(world *World, tr *Trace) (*TraceSummary, error) {
+	return trace.Summarize(world, tr)
+}

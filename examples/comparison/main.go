@@ -1,0 +1,65 @@
+// Comparison: run the paper's three schemes (RBCAer, Nearest, Random)
+// on one synthetic workload and print the Sec. V metric comparison,
+// mirroring a single column of the paper's Figs. 6/7.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	crowdcdn "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "comparison: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A mid-size world: ~1/3 of the paper's evaluation scale.
+	cfg := crowdcdn.DefaultTraceConfig()
+	cfg.NumHotspots = 100
+	cfg.NumVideos = 5000
+	cfg.NumUsers = 10000
+	cfg.NumRequests = 22000
+	cfg.NumRegions = 10
+
+	world, tr, err := crowdcdn.Generate(cfg)
+	if err != nil {
+		return err
+	}
+
+	policies := []crowdcdn.Scheduler{
+		crowdcdn.NewRBCAer(crowdcdn.DefaultParams()),
+		crowdcdn.NewNearest(),
+		crowdcdn.NewRandom(1.5),
+	}
+
+	fmt.Printf("%-14s  %8s  %9s  %10s  %8s  %12s\n",
+		"scheme", "serving", "dist(km)", "repl(x|V|)", "cdnload", "sched-time")
+	var base *crowdcdn.Metrics
+	for _, p := range policies {
+		m, err := crowdcdn.Simulate(world, tr, p, crowdcdn.SimOptions{Seed: 1})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-14s  %8.3f  %9.2f  %10.3f  %8.3f  %12v\n",
+			m.Scheme, m.HotspotServingRatio, m.AvgAccessDistanceKm,
+			m.ReplicationCost, m.CDNServerLoad, m.SchedulingTime.Round(1000000))
+		if base == nil {
+			base = m
+		}
+	}
+
+	// Headline comparison in the paper's terms (RBCAer vs Nearest).
+	nearest, err := crowdcdn.Simulate(world, tr, crowdcdn.NewNearest(), crowdcdn.SimOptions{Seed: 1})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nRBCAer vs Nearest: %.0f%% lower access distance, %.0f%% lower CDN load\n",
+		100*(1-base.AvgAccessDistanceKm/nearest.AvgAccessDistanceKm),
+		100*(1-base.CDNServerLoad/nearest.CDNServerLoad))
+	return nil
+}

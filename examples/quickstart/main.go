@@ -1,0 +1,50 @@
+// Quickstart: generate a small synthetic crowdsourced CDN, schedule it
+// with RBCAer, and print the paper's four evaluation metrics.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	crowdcdn "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "quickstart: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Start from the paper's evaluation configuration and shrink it so
+	// the example finishes in well under a second.
+	cfg := crowdcdn.DefaultTraceConfig()
+	cfg.NumHotspots = 60
+	cfg.NumVideos = 3000
+	cfg.NumUsers = 6000
+	cfg.NumRequests = 8000
+	cfg.NumRegions = 8
+
+	world, tr, err := crowdcdn.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("world: %d hotspots over %.0fx%.0f km, %d videos, %d requests\n",
+		len(world.Hotspots), world.Bounds.Width(), world.Bounds.Height(),
+		world.NumVideos, len(tr.Requests))
+
+	policy := crowdcdn.NewRBCAer(crowdcdn.DefaultParams())
+	m, err := crowdcdn.Simulate(world, tr, policy, crowdcdn.SimOptions{Seed: 1})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("hotspot serving ratio: %.3f\n", m.HotspotServingRatio)
+	fmt.Printf("avg access distance:   %.2f km (CDN misses cost %.1f km)\n",
+		m.AvgAccessDistanceKm, world.CDNDistanceKm)
+	fmt.Printf("replication cost:      %.3f x video set\n", m.ReplicationCost)
+	fmt.Printf("CDN server load:       %.3f of original workload\n", m.CDNServerLoad)
+	fmt.Printf("scheduling time:       %v\n", m.SchedulingTime)
+	return nil
+}

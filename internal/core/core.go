@@ -1,0 +1,273 @@
+// Package core implements the paper's primary contribution: the
+// Request-Balancing and Content-Aggregation scheduler (RBCAer) for
+// crowdsourced CDNs.
+//
+// Each scheduling round (timeslot) takes the per-hotspot, per-video
+// demand aggregated at each request's nearest hotspot and produces:
+//
+//   - inter-hotspot workload flows f_ij moving surplus requests from
+//     overloaded to under-utilised hotspots (Algorithm 1: an iterative
+//     θ-bounded min-cost max-flow on the content-aggregation network
+//     Gc, falling back to the plain balancing network Gd),
+//   - a per-video redirection plan realising those flows (Procedure 1),
+//     and
+//   - the content placement y_vj (which videos each hotspot prefetches),
+//     minimising replication cost by aggregating similar hotspots'
+//     redirected demand onto shared replicas.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/mcmf"
+	"repro/internal/similarity"
+	"repro/internal/trace"
+)
+
+// GuideCostMode selects the cost of the guide-node → target edge in the
+// content-aggregation network Gc.
+type GuideCostMode int
+
+const (
+	// GuideCostAvgDistance prices the guide edge at the average
+	// distance from the cluster's overloaded hotspots to the target —
+	// the evident intent of the paper's formula (see DESIGN.md).
+	GuideCostAvgDistance GuideCostMode = iota + 1
+	// GuideCostAvgCapacity prices the guide edge with the literal
+	// formula of Sec. IV-B, Σφ_ij/‖Hjk‖ (average pair capacity).
+	GuideCostAvgCapacity
+)
+
+// String implements fmt.Stringer.
+func (m GuideCostMode) String() string {
+	switch m {
+	case GuideCostAvgDistance:
+		return "avg-distance"
+	case GuideCostAvgCapacity:
+		return "avg-capacity"
+	default:
+		return fmt.Sprintf("guide-cost(%d)", int(m))
+	}
+}
+
+// Params are RBCAer's tuning parameters. Defaults follow the paper's
+// Sec. V setup.
+type Params struct {
+	// Theta1, Theta2, DeltaD drive the latency-threshold sweep of
+	// Algorithm 1: edges <i,j> enter the flow network only when
+	// d_ij < θ, with θ growing from Theta1 to Theta2 in DeltaD steps.
+	Theta1 float64
+	Theta2 float64
+	DeltaD float64
+
+	// ClusterCut is the maximum content-aware distance Jd within a
+	// cluster. The paper uses 0.5, tuned to its trace where nearby
+	// hotspots reach Jaccard 0.8; our synthetic similarities top out
+	// near 0.6, so the default is recalibrated to 0.75 (intra-cluster
+	// Jaccard >= 0.25, above the nearby-pair median) — see
+	// EXPERIMENTS.md. The abl-cluster ablation sweeps this knob.
+	ClusterCut float64
+	// TopFraction sizes each hotspot's content signature: the top
+	// fraction of its demanded videos (the paper's top-20%).
+	TopFraction float64
+	// Linkage is the hierarchical-clustering linkage; Complete
+	// guarantees the intra-cluster distance bound.
+	Linkage cluster.Linkage
+
+	// GuideCost selects the guide-edge pricing (see GuideCostMode).
+	GuideCost GuideCostMode
+	// Algorithm selects the MCMF solver.
+	Algorithm mcmf.Algorithm
+
+	// BPeak caps the number of replicas pushed in the greedy local
+	// cache-fill stage of Procedure 1 (the paper's "server load
+	// reaches the peak traffic observed"). 0 means unlimited.
+	BPeak int64
+	// FillOverprovision scales the serviceable-demand budget of the
+	// greedy cache-fill loop. 1 (and 0, the zero value) is the exact
+	// budget; >1 prefetches beyond what capacity can serve — wasteful
+	// under oracle demand but a robustness buffer when scheduling on
+	// *predicted* demand (see the abl-prediction experiment).
+	FillOverprovision float64
+
+	// DisableGuides skips content aggregation and balances on Gd only
+	// (ablation: pure load balancing).
+	DisableGuides bool
+	// SingleShotTheta replaces the θ sweep with one round at Theta2
+	// (ablation: value of the incremental schedule).
+	SingleShotTheta bool
+}
+
+// DefaultParams returns the paper's evaluation parameters:
+// θ1 = 0.5 km, θ2 = 1.5 km, δd = 0.5 km, top-20% signatures, complete
+// linkage, average-distance guide pricing — with the cluster cut
+// recalibrated to this repository's trace (see Params.ClusterCut).
+func DefaultParams() Params {
+	return Params{
+		Theta1:      0.5,
+		Theta2:      1.5,
+		DeltaD:      0.5,
+		ClusterCut:  0.75,
+		TopFraction: 0.2,
+		Linkage:     cluster.Complete,
+		GuideCost:   GuideCostAvgDistance,
+		Algorithm:   mcmf.SSPDijkstra,
+	}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.Theta1 < 0 || p.Theta2 < p.Theta1 {
+		return fmt.Errorf("core: need 0 <= Theta1 <= Theta2, got %v, %v", p.Theta1, p.Theta2)
+	}
+	if p.DeltaD <= 0 {
+		return fmt.Errorf("core: DeltaD must be positive, got %v", p.DeltaD)
+	}
+	if p.ClusterCut < 0 || p.ClusterCut > 1 {
+		return fmt.Errorf("core: ClusterCut must be in [0,1], got %v", p.ClusterCut)
+	}
+	if p.TopFraction <= 0 || p.TopFraction > 1 {
+		return fmt.Errorf("core: TopFraction must be in (0,1], got %v", p.TopFraction)
+	}
+	switch p.Linkage {
+	case cluster.Single, cluster.Complete, cluster.Average:
+	default:
+		return fmt.Errorf("core: unknown linkage %v", p.Linkage)
+	}
+	switch p.GuideCost {
+	case GuideCostAvgDistance, GuideCostAvgCapacity:
+	default:
+		return fmt.Errorf("core: unknown guide cost mode %v", p.GuideCost)
+	}
+	switch p.Algorithm {
+	case mcmf.SSPDijkstra, mcmf.BellmanFord:
+	default:
+		return fmt.Errorf("core: unknown MCMF algorithm %v", p.Algorithm)
+	}
+	if p.BPeak < 0 {
+		return fmt.Errorf("core: negative BPeak %d", p.BPeak)
+	}
+	if p.FillOverprovision < 0 {
+		return fmt.Errorf("core: negative FillOverprovision %v", p.FillOverprovision)
+	}
+	return nil
+}
+
+// Demand is one timeslot's request demand aggregated at each request's
+// nearest hotspot (λ_h and λ_hv in the paper).
+type Demand struct {
+	// PerVideo[h][v] is the number of requests for video v aggregated
+	// at hotspot h.
+	PerVideo []map[trace.VideoID]int64
+	// Totals[h] is λ_h = Σ_v PerVideo[h][v].
+	Totals []int64
+}
+
+// NewDemand returns an empty demand over numHotspots hotspots.
+func NewDemand(numHotspots int) *Demand {
+	return &Demand{
+		PerVideo: make([]map[trace.VideoID]int64, numHotspots),
+		Totals:   make([]int64, numHotspots),
+	}
+}
+
+// Add records n requests for video v aggregated at hotspot h.
+func (d *Demand) Add(h trace.HotspotID, v trace.VideoID, n int64) {
+	if d.PerVideo[h] == nil {
+		d.PerVideo[h] = make(map[trace.VideoID]int64)
+	}
+	d.PerVideo[h][v] += n
+	d.Totals[h] += n
+}
+
+// NumHotspots returns the hotspot count the demand covers.
+func (d *Demand) NumHotspots() int { return len(d.Totals) }
+
+// VideoCounts returns hotspot h's demand keyed by plain int video ids,
+// the form the similarity helpers consume.
+func (d *Demand) VideoCounts(h int) map[int]int64 {
+	out := make(map[int]int64, len(d.PerVideo[h]))
+	for v, n := range d.PerVideo[h] {
+		out[int(v)] = n
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (d *Demand) Clone() *Demand {
+	out := NewDemand(len(d.Totals))
+	copy(out.Totals, d.Totals)
+	for h, m := range d.PerVideo {
+		if m == nil {
+			continue
+		}
+		cp := make(map[trace.VideoID]int64, len(m))
+		for v, n := range m {
+			cp[v] = n
+		}
+		out.PerVideo[h] = cp
+	}
+	return out
+}
+
+// FlowEdge is a realised inter-hotspot workload movement: Amount
+// requests aggregated at From are redirected to To.
+type FlowEdge struct {
+	From   trace.HotspotID
+	To     trace.HotspotID
+	Amount int64
+}
+
+// Redirect moves Count requests for Video from hotspot From to To.
+type Redirect struct {
+	From  trace.HotspotID
+	To    trace.HotspotID
+	Video trace.VideoID
+	Count int64
+}
+
+// Stats summarises one scheduling round, feeding the Fig. 9 analysis
+// and the running-time/ablation benches.
+type Stats struct {
+	// MaxFlow is the theoretically movable workload
+	// min(Σ_i∈Hs φ_i, Σ_j∈Ht φ_j).
+	MaxFlow int64
+	// MovedFlow is the workload actually moved by the θ sweep plus the
+	// residual Gd pass.
+	MovedFlow int64
+	// UnrealizedFlow is moved flow Procedure 1 could not convert into
+	// concrete per-video redirects (insufficient matching demand or
+	// target cache space); it falls back to the CDN.
+	UnrealizedFlow int64
+	// Overloaded and Underutilized are |Hs| and |Ht|.
+	Overloaded    int
+	Underutilized int
+	// Clusters is the number of content clusters.
+	Clusters int
+	// GuideNodes is the number of flow-guide nodes inserted across all
+	// θ iterations.
+	GuideNodes int
+	// DirectEdges is the number of <i,j> candidate pairs in the final
+	// θ graph.
+	DirectEdges int
+	// Iterations is the number of θ rounds executed.
+	Iterations int
+	// Replicas is the total number of video placements produced.
+	Replicas int64
+}
+
+// Plan is the output of one scheduling round.
+type Plan struct {
+	// Flows is the realised inter-hotspot flow f_ij.
+	Flows []FlowEdge
+	// Redirects is the per-video realisation of Flows.
+	Redirects []Redirect
+	// Placement[h] is the set of videos hotspot h prefetches (y_vh).
+	Placement []similarity.Set
+	// OverflowToCDN[h] is surplus workload at h that could not be
+	// balanced within θ2 and is redirected to the origin CDN server.
+	OverflowToCDN []int64
+	// Stats summarises the round.
+	Stats Stats
+}

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/mcmf"
+	"repro/internal/similarity"
+)
+
+// pairKey packs an (i, j) hotspot pair into a map key.
+func pairKey(i, j, m int) int64 { return int64(i)*int64(m) + int64(j) }
+
+func unpackPair(k int64, m int) (i, j int) {
+	return int(k / int64(m)), int(k % int64(m))
+}
+
+// attributedEdge ties a flow-network edge back to the hotspot pair its
+// flow should be attributed to. For a direct edge it is <i, j>; for a
+// guide in-edge i→n_kj it is also <i, j> because everything entering
+// n_kj exits to j.
+type attributedEdge struct {
+	id   mcmf.EdgeID
+	i, j int
+}
+
+// flowNet is one constructed balancing network (Gd, or Gc when guide
+// nodes were inserted).
+type flowNet struct {
+	g           *mcmf.Graph
+	source      int
+	sink        int
+	edges       []attributedEdge
+	directPairs int // number of candidate <i,j> pairs with d_ij < θ
+	guideNodes  int
+}
+
+// buildNetwork constructs the θ-bounded balancing network over the
+// hotspots with remaining surplus (over, phiOver) and remaining slack
+// (under, phiUnder). When useGuides is true, flow-guide nodes implement
+// the content-aggregation rewrite of Sec. IV-B (turning Gd into Gc).
+func (s *Scheduler) buildNetwork(
+	theta float64,
+	over, under []int,
+	phiOver, phiUnder []int64,
+	clusterOf []int,
+	useGuides bool,
+) *flowNet {
+	g := mcmf.NewGraph(2)
+	const (
+		source = 0
+		sink   = 1
+	)
+	nodeOf := make(map[int]int) // hotspot -> graph node
+	locs := s.locs
+
+	nb := &flowNet{g: g, source: source, sink: sink}
+
+	// Candidate pairs within θ, grouped by under-utilised target.
+	type cand struct {
+		i      int
+		phiIJ  int64
+		distIJ float64
+	}
+	candsByTarget := make(map[int][]cand)
+	for _, j := range under {
+		if phiUnder[j] <= 0 {
+			continue
+		}
+		for _, i := range over {
+			if phiOver[i] <= 0 {
+				continue
+			}
+			d := locs[i].DistanceTo(locs[j])
+			if d >= theta {
+				continue
+			}
+			phiIJ := phiOver[i]
+			if phiUnder[j] < phiIJ {
+				phiIJ = phiUnder[j]
+			}
+			candsByTarget[j] = append(candsByTarget[j], cand{i: i, phiIJ: phiIJ, distIJ: d})
+			nb.directPairs++
+		}
+	}
+
+	ensureNode := func(h int) int {
+		if n, ok := nodeOf[h]; ok {
+			return n
+		}
+		n := g.AddNode()
+		nodeOf[h] = n
+		return n
+	}
+	// Source and sink arcs are added lazily, once per hotspot.
+	sourceArc := make(map[int]bool)
+	sinkArc := make(map[int]bool)
+	mustEdge := func(from, to int, capacity int64, cost float64) mcmf.EdgeID {
+		id, err := g.AddEdge(from, to, capacity, cost)
+		if err != nil {
+			// All arguments are validated by construction; an error
+			// here is a programming bug.
+			panic(fmt.Sprintf("core: building flow network: %v", err))
+		}
+		return id
+	}
+
+	for j, cands := range candsByTarget {
+		nj := ensureNode(j)
+		if !sinkArc[j] {
+			mustEdge(nj, sink, phiUnder[j], 0)
+			sinkArc[j] = true
+		}
+
+		// Partition candidates by the source hotspot's content cluster.
+		byCluster := make(map[int][]cand)
+		if useGuides {
+			for _, c := range cands {
+				k := clusterOf[c.i]
+				byCluster[k] = append(byCluster[k], c)
+			}
+		} else {
+			byCluster[-1] = cands
+		}
+
+		for k, group := range byCluster {
+			var sumPhi int64
+			var sumDist float64
+			for _, c := range group {
+				sumPhi += c.phiIJ
+				sumDist += c.distIJ
+			}
+			guided := false
+			if useGuides && k >= 0 {
+				// Insert a guide node when the cluster can cover at
+				// least half of j's slack, or when j itself belongs to
+				// the cluster (Sec. IV-B).
+				if 2*sumPhi >= phiUnder[j] || clusterOf[j] == k {
+					guided = true
+				}
+			}
+			if guided {
+				guide := g.AddNode()
+				nb.guideNodes++
+				var outCost float64
+				switch s.params.GuideCost {
+				case GuideCostAvgCapacity:
+					outCost = float64(sumPhi) / float64(len(group))
+				default: // GuideCostAvgDistance
+					outCost = sumDist / float64(len(group))
+				}
+				outCap := sumPhi
+				if phiUnder[j] < outCap {
+					outCap = phiUnder[j]
+				}
+				mustEdge(guide, nj, outCap, outCost)
+				for _, c := range group {
+					ni := ensureNode(c.i)
+					if !sourceArc[c.i] {
+						mustEdge(source, ni, phiOver[c.i], 0)
+						sourceArc[c.i] = true
+					}
+					id := mustEdge(ni, guide, c.phiIJ, 0)
+					nb.edges = append(nb.edges, attributedEdge{id: id, i: c.i, j: j})
+				}
+			} else {
+				for _, c := range group {
+					ni := ensureNode(c.i)
+					if !sourceArc[c.i] {
+						mustEdge(source, ni, phiOver[c.i], 0)
+						sourceArc[c.i] = true
+					}
+					id := mustEdge(ni, nj, c.phiIJ, c.distIJ)
+					nb.edges = append(nb.edges, attributedEdge{id: id, i: c.i, j: j})
+				}
+			}
+		}
+	}
+	return nb
+}
+
+// contentClusters computes each hotspot's content signature (its
+// top-TopFraction demanded videos) and clusters hotspots by the
+// content-aware distance Jd = 1 - Jaccard, cutting the dendrogram at
+// ClusterCut. It returns the cluster index per hotspot and the number
+// of clusters.
+func (s *Scheduler) contentClusters(d *Demand) ([]int, int, error) {
+	m := len(s.world.Hotspots)
+	sets := make([]similarity.Set, m)
+	for h := 0; h < m; h++ {
+		counts := make(map[int]int64, len(d.PerVideo[h]))
+		for v, n := range d.PerVideo[h] {
+			counts[int(v)] = n
+		}
+		set, err := similarity.TopFraction(counts, s.params.TopFraction)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: content signature of hotspot %d: %w", h, err)
+		}
+		sets[h] = set
+	}
+	dist := func(i, j int) float64 { return similarity.JaccardDistance(sets[i], sets[j]) }
+	dendro, err := cluster.Agglomerative(m, dist, s.params.Linkage)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: clustering hotspots: %w", err)
+	}
+	groups := dendro.Cut(s.params.ClusterCut)
+	clusterOf := make([]int, m)
+	for k, grp := range groups {
+		for _, h := range grp {
+			clusterOf[h] = k
+		}
+	}
+	return clusterOf, len(groups), nil
+}
+
+// ThetaAnalysis reports, for a given θ, the size and effectiveness of
+// the balancing graph Gd — the quantities of the paper's Fig. 9.
+type ThetaAnalysis struct {
+	Theta float64
+	// DirectEdges is the number of <i,j> pairs with d_ij < θ.
+	DirectEdges int
+	// EdgeFraction is DirectEdges normalised by |V|^2 with
+	// |V| = |Hs| + |Ht| (the possible-edge count).
+	EdgeFraction float64
+	// Flow is the max flow achievable on Gd(θ).
+	Flow int64
+	// FlowFraction is Flow normalised by the unrestricted movable
+	// workload min(Σφ_i, Σφ_j).
+	FlowFraction float64
+}
+
+// AnalyzeTheta computes the Fig. 9 quantities for one θ against the
+// demand: how many candidate edges the θ bound keeps and what fraction
+// of the movable workload those edges can carry.
+func (s *Scheduler) AnalyzeTheta(d *Demand, theta float64) (ThetaAnalysis, error) {
+	if d.NumHotspots() != len(s.world.Hotspots) {
+		return ThetaAnalysis{}, fmt.Errorf("core: demand covers %d hotspots, world has %d",
+			d.NumHotspots(), len(s.world.Hotspots))
+	}
+	if theta < 0 {
+		return ThetaAnalysis{}, fmt.Errorf("core: negative theta %v", theta)
+	}
+	over, under, phiOver, phiUnder := s.partition(d, s.worldCapacities())
+	nb := s.buildNetwork(theta, over, under, phiOver, phiUnder, nil, false)
+	res, err := nb.g.Solve(nb.source, nb.sink, int64(1)<<62, s.params.Algorithm)
+	if err != nil {
+		return ThetaAnalysis{}, fmt.Errorf("core: solving Gd(θ=%v): %w", theta, err)
+	}
+
+	var sumOver, sumUnder int64
+	for _, i := range over {
+		sumOver += phiOver[i]
+	}
+	for _, j := range under {
+		sumUnder += phiUnder[j]
+	}
+	maxflow := sumOver
+	if sumUnder < maxflow {
+		maxflow = sumUnder
+	}
+	v := len(over) + len(under)
+	out := ThetaAnalysis{
+		Theta:       theta,
+		DirectEdges: nb.directPairs,
+		Flow:        res.Flow,
+	}
+	if v > 0 {
+		out.EdgeFraction = float64(nb.directPairs) / float64(v*v)
+	}
+	if maxflow > 0 {
+		out.FlowFraction = float64(res.Flow) / float64(maxflow)
+	}
+	return out, nil
+}
+
+// partition splits hotspots into overloaded and under-utilised sets
+// with their surplus/slack φ values against the given capacities.
+func (s *Scheduler) partition(d *Demand, svc []int64) (over, under []int, phiOver, phiUnder []int64) {
+	m := len(s.world.Hotspots)
+	phiOver = make([]int64, m)
+	phiUnder = make([]int64, m)
+	for h := 0; h < m; h++ {
+		lambda := d.Totals[h]
+		switch {
+		case lambda > svc[h]:
+			over = append(over, h)
+			phiOver[h] = lambda - svc[h]
+		case lambda < svc[h]:
+			under = append(under, h)
+			phiUnder[h] = svc[h] - lambda
+		}
+	}
+	return over, under, phiOver, phiUnder
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/similarity"
+	"repro/internal/trace"
+)
+
+// replicate implements Procedure 1 (ContentAggregationReplication): it
+// converts the inter-hotspot flows f_ij into per-video request
+// redirects using the content-placement efficiency index
+// eu(v,j) = Σ_i min(f_ij, λ_iv), placing redirected videos at their
+// targets, and then greedily fills the remaining cache space with
+// locally demanded videos ranked by the offload efficiency index
+// el(v,i) until caches are full or the replication budget BPeak is
+// reached.
+//
+// It returns the redirects, the placement y, the amount of flow that
+// could not be realised into concrete redirects (no matching demand or
+// no cache space at the target), and the total number of replicas.
+func (s *Scheduler) replicate(d *Demand, flows map[int64]int64, svc []int64) (
+	redirects []Redirect,
+	placement []similarity.Set,
+	unrealized int64,
+	replicas int64,
+	err error,
+) {
+	m := len(s.world.Hotspots)
+	placement = make([]similarity.Set, m)
+	for h := range placement {
+		placement[h] = make(similarity.Set)
+	}
+	cacheUsed := make([]int, m)
+
+	// Remaining flow budget per (i, j) pair and remaining local demand
+	// λ_iv per hotspot.
+	remaining := make(map[int64]int64, len(flows))
+	var totalFlow int64
+	for k, f := range flows {
+		if f > 0 {
+			remaining[k] = f
+			totalFlow += f
+		}
+	}
+	lambdaRem := make([]map[trace.VideoID]int64, m)
+	for h := 0; h < m; h++ {
+		lambdaRem[h] = make(map[trace.VideoID]int64, len(d.PerVideo[h]))
+		for v, n := range d.PerVideo[h] {
+			if n > 0 {
+				lambdaRem[h][v] = n
+			}
+		}
+	}
+
+	// Per-target source lists (SinktoSource(j) in the paper).
+	sourcesOf := make(map[int][]int)
+	for k := range remaining {
+		i, j := unpackPair(k, m)
+		sourcesOf[j] = append(sourcesOf[j], i)
+	}
+	for j := range sourcesOf {
+		sort.Ints(sourcesOf[j])
+	}
+
+	// eu(v, j) under the current remaining flow and demand.
+	euOf := func(v trace.VideoID, j int) int64 {
+		var sum int64
+		for _, i := range sourcesOf[j] {
+			rem := remaining[pairKey(i, j, m)]
+			if rem <= 0 {
+				continue
+			}
+			lam := lambdaRem[i][v]
+			if lam <= 0 {
+				continue
+			}
+			if lam < rem {
+				sum += lam
+			} else {
+				sum += rem
+			}
+		}
+		return sum
+	}
+
+	// Seed the lazy max-heap over (v, j) with initial eu values.
+	h := &euHeap{}
+	for j, srcs := range sourcesOf {
+		seen := make(map[trace.VideoID]struct{})
+		for _, i := range srcs {
+			for v := range lambdaRem[i] {
+				if _, dup := seen[v]; dup {
+					continue
+				}
+				seen[v] = struct{}{}
+				if eu := euOf(v, j); eu > 0 {
+					heap.Push(h, euEntry{video: v, target: j, eu: eu})
+				}
+			}
+		}
+	}
+
+	remainingTotal := totalFlow
+	for h.Len() > 0 && remainingTotal > 0 {
+		top := heap.Pop(h).(euEntry)
+		cur := euOf(top.video, top.target)
+		if cur <= 0 {
+			continue
+		}
+		if cur < top.eu {
+			// Stale priority: requeue with the refreshed value.
+			heap.Push(h, euEntry{video: top.video, target: top.target, eu: cur})
+			continue
+		}
+		j := top.target
+		v := top.video
+		// Redirecting v to j requires a replica at j.
+		if !placement[j].Contains(int(v)) {
+			if cacheUsed[j] >= s.world.Hotspots[j].CacheCapacity {
+				continue // target cache full; this (v, j) is unrealisable
+			}
+			placement[j].Add(int(v))
+			cacheUsed[j]++
+			replicas++
+		}
+		for _, i := range sourcesOf[j] {
+			key := pairKey(i, j, m)
+			rem := remaining[key]
+			if rem <= 0 {
+				continue
+			}
+			lam := lambdaRem[i][v]
+			if lam <= 0 {
+				continue
+			}
+			amt := lam
+			if rem < amt {
+				amt = rem
+			}
+			redirects = append(redirects, Redirect{
+				From:  trace.HotspotID(i),
+				To:    trace.HotspotID(j),
+				Video: v,
+				Count: amt,
+			})
+			remaining[key] = rem - amt
+			if lam == amt {
+				delete(lambdaRem[i], v)
+			} else {
+				lambdaRem[i][v] = lam - amt
+			}
+			remainingTotal -= amt
+		}
+	}
+	unrealized = remainingTotal
+
+	// Greedy local fill (Procedure 1, lines 14-19): replicate the
+	// highest remaining local demand el(v, i) = λ_iv until caches fill
+	// or the budget runs out.
+	type localDemand struct {
+		hotspot int
+		video   trace.VideoID
+		count   int64
+	}
+	var fill []localDemand
+	for i := 0; i < m; i++ {
+		if cacheUsed[i] >= s.world.Hotspots[i].CacheCapacity {
+			continue
+		}
+		for v, n := range lambdaRem[i] {
+			if n <= 0 || placement[i].Contains(int(v)) {
+				continue
+			}
+			fill = append(fill, localDemand{hotspot: i, video: v, count: n})
+		}
+	}
+	sort.Slice(fill, func(a, b int) bool {
+		if fill[a].count != fill[b].count {
+			return fill[a].count > fill[b].count
+		}
+		if fill[a].hotspot != fill[b].hotspot {
+			return fill[a].hotspot < fill[b].hotspot
+		}
+		return fill[a].video < fill[b].video
+	})
+
+	// Replicating a video the hotspot has no service capacity left to
+	// serve would add CDN push load with zero serving benefit — this is
+	// the role of the paper's B_peak bound on the replication loop. We
+	// budget each hotspot's fill by its serviceable residual demand:
+	// service capacity minus the inflow reserved by redirects.
+	over := s.params.FillOverprovision
+	if over <= 0 {
+		over = 1
+	}
+	serveBudget := make([]int64, m)
+	for i, c := range svc {
+		serveBudget[i] = int64(float64(c) * over)
+	}
+	for _, rd := range redirects {
+		serveBudget[rd.To] -= rd.Count
+	}
+
+	for _, ld := range fill {
+		if s.params.BPeak > 0 && replicas >= s.params.BPeak {
+			break
+		}
+		if serveBudget[ld.hotspot] <= 0 {
+			continue
+		}
+		if cacheUsed[ld.hotspot] >= s.world.Hotspots[ld.hotspot].CacheCapacity {
+			continue
+		}
+		if placement[ld.hotspot].Contains(int(ld.video)) {
+			continue
+		}
+		placement[ld.hotspot].Add(int(ld.video))
+		cacheUsed[ld.hotspot]++
+		replicas++
+		serveBudget[ld.hotspot] -= ld.count
+	}
+
+	if unrealized < 0 {
+		return nil, nil, 0, 0, fmt.Errorf("core: negative unrealized flow %d (bug)", unrealized)
+	}
+	return redirects, placement, unrealized, replicas, nil
+}
+
+// euEntry is a (video, target) candidate keyed by its content-placement
+// efficiency index.
+type euEntry struct {
+	video  trace.VideoID
+	target int
+	eu     int64
+}
+
+// euHeap is a max-heap over euEntry with deterministic tie-breaking.
+type euHeap []euEntry
+
+func (h euHeap) Len() int { return len(h) }
+func (h euHeap) Less(a, b int) bool {
+	if h[a].eu != h[b].eu {
+		return h[a].eu > h[b].eu
+	}
+	if h[a].target != h[b].target {
+		return h[a].target < h[b].target
+	}
+	return h[a].video < h[b].video
+}
+func (h euHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
+func (h *euHeap) Push(x interface{}) { *h = append(*h, x.(euEntry)) }
+func (h *euHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

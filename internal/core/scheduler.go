@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/trace"
+)
+
+// Scheduler runs RBCAer scheduling rounds against a fixed world.
+// It is safe for sequential reuse across timeslots; it is not safe for
+// concurrent use.
+type Scheduler struct {
+	world  *trace.World
+	params Params
+	locs   []geo.Point
+}
+
+// New validates the inputs and returns a scheduler for the world.
+func New(world *trace.World, params Params) (*Scheduler, error) {
+	if world == nil {
+		return nil, fmt.Errorf("core: nil world")
+	}
+	if err := world.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid world: %w", err)
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	locs := make([]geo.Point, len(world.Hotspots))
+	for i, h := range world.Hotspots {
+		locs[i] = h.Location
+	}
+	return &Scheduler{world: world, params: params, locs: locs}, nil
+}
+
+// World returns the world the scheduler was built for.
+func (s *Scheduler) World() *trace.World { return s.world }
+
+// Params returns the scheduler's parameters.
+func (s *Scheduler) Params() Params { return s.params }
+
+// Schedule runs Algorithm 1 (request balancing with content
+// aggregation) followed by Procedure 1 (content aggregation
+// replication) on one timeslot's aggregated demand and returns the
+// resulting plan.
+func (s *Scheduler) Schedule(d *Demand) (*Plan, error) {
+	return s.ScheduleWithCapacities(d, nil)
+}
+
+// ScheduleWithCapacities is Schedule with per-round effective service
+// capacities overriding the world's nominal values (the simulator uses
+// this to model churned-out hotspots as capacity 0 for a slot). A nil
+// svc uses the world's capacities; otherwise svc must cover every
+// hotspot with non-negative values.
+func (s *Scheduler) ScheduleWithCapacities(d *Demand, svc []int64) (*Plan, error) {
+	if d == nil {
+		return nil, fmt.Errorf("core: nil demand")
+	}
+	m := len(s.world.Hotspots)
+	if d.NumHotspots() != m {
+		return nil, fmt.Errorf("core: demand covers %d hotspots, world has %d", d.NumHotspots(), m)
+	}
+	if svc == nil {
+		svc = s.worldCapacities()
+	} else {
+		if len(svc) != m {
+			return nil, fmt.Errorf("core: capacities cover %d hotspots, world has %d", len(svc), m)
+		}
+		for h, c := range svc {
+			if c < 0 {
+				return nil, fmt.Errorf("core: negative capacity %d at hotspot %d", c, h)
+			}
+		}
+	}
+
+	over, under, phiOver, phiUnder := s.partition(d, svc)
+	var stats Stats
+	stats.Overloaded = len(over)
+	stats.Underutilized = len(under)
+
+	var sumOver, sumUnder int64
+	for _, i := range over {
+		sumOver += phiOver[i]
+	}
+	for _, j := range under {
+		sumUnder += phiUnder[j]
+	}
+	stats.MaxFlow = sumOver
+	if sumUnder < stats.MaxFlow {
+		stats.MaxFlow = sumUnder
+	}
+
+	var clusterOf []int
+	if !s.params.DisableGuides {
+		var nClusters int
+		var err error
+		clusterOf, nClusters, err = s.contentClusters(d)
+		if err != nil {
+			return nil, err
+		}
+		stats.Clusters = nClusters
+	}
+
+	flows := make(map[int64]int64)
+	var moved int64
+
+	// θ sweep over the content-aggregation network Gc (Algorithm 1,
+	// lines 5-10).
+	theta := s.params.Theta1
+	if s.params.SingleShotTheta {
+		theta = s.params.Theta2
+	}
+	const thetaEps = 1e-9
+	for theta <= s.params.Theta2+thetaEps && moved < stats.MaxFlow {
+		nb := s.buildNetwork(theta, over, under, phiOver, phiUnder, clusterOf, !s.params.DisableGuides)
+		stats.DirectEdges = nb.directPairs
+		stats.GuideNodes += nb.guideNodes
+		if len(nb.edges) > 0 {
+			res, err := nb.g.Solve(nb.source, nb.sink, stats.MaxFlow-moved, s.params.Algorithm)
+			if err != nil {
+				return nil, fmt.Errorf("core: solving Gc(θ=%v): %w", theta, err)
+			}
+			extracted := s.extractFlows(nb, flows, phiOver, phiUnder)
+			if extracted != res.Flow {
+				return nil, fmt.Errorf("core: extracted %d units but solver pushed %d", extracted, res.Flow)
+			}
+			moved += res.Flow
+		}
+		stats.Iterations++
+		if s.params.SingleShotTheta {
+			break
+		}
+		theta += s.params.DeltaD
+	}
+
+	// Residual pass on the plain balancing network Gd (Algorithm 1,
+	// lines 11-13): move whatever the guided rounds left behind.
+	if moved < stats.MaxFlow {
+		nb := s.buildNetwork(s.params.Theta2, over, under, phiOver, phiUnder, nil, false)
+		if len(nb.edges) > 0 {
+			res, err := nb.g.Solve(nb.source, nb.sink, stats.MaxFlow-moved, s.params.Algorithm)
+			if err != nil {
+				return nil, fmt.Errorf("core: solving residual Gd: %w", err)
+			}
+			extracted := s.extractFlows(nb, flows, phiOver, phiUnder)
+			if extracted != res.Flow {
+				return nil, fmt.Errorf("core: residual extracted %d units but solver pushed %d", extracted, res.Flow)
+			}
+			moved += res.Flow
+		}
+	}
+	stats.MovedFlow = moved
+
+	// Whatever surplus remains unmovable within θ2 goes to the origin
+	// CDN server (Algorithm 1, line 14).
+	overflow := make([]int64, m)
+	for _, i := range over {
+		overflow[i] = phiOver[i]
+	}
+
+	// Procedure 1: realise flows into per-video redirects and build
+	// the placement.
+	redirects, placement, unrealized, replicas, err := s.replicate(d, flows, svc)
+	if err != nil {
+		return nil, err
+	}
+	stats.UnrealizedFlow = unrealized
+	stats.Replicas = replicas
+
+	// Unrealised flow stays at its overloaded source and therefore
+	// also falls back to the CDN.
+	realized := make(map[int64]int64, len(flows))
+	for _, r := range redirects {
+		realized[pairKey(int(r.From), int(r.To), m)] += r.Count
+	}
+	for k, f := range flows {
+		if miss := f - realized[k]; miss > 0 {
+			i, _ := unpackPair(k, m)
+			overflow[i] += miss
+		}
+	}
+
+	plan := &Plan{
+		Flows:         flowEdges(flows, realized, m),
+		Redirects:     redirects,
+		Placement:     placement,
+		OverflowToCDN: overflow,
+		Stats:         stats,
+	}
+	return plan, nil
+}
+
+// extractFlows reads attributed edge flows out of a solved network,
+// accumulates them into flows, and decrements the remaining φ values.
+// It returns the total units extracted.
+func (s *Scheduler) extractFlows(nb *flowNet, flows map[int64]int64, phiOver, phiUnder []int64) int64 {
+	m := len(s.world.Hotspots)
+	var total int64
+	for _, ae := range nb.edges {
+		f := nb.g.Flow(ae.id)
+		if f <= 0 {
+			continue
+		}
+		flows[pairKey(ae.i, ae.j, m)] += f
+		phiOver[ae.i] -= f
+		phiUnder[ae.j] -= f
+		total += f
+	}
+	return total
+}
+
+// flowEdges converts the realised flow map into a deterministic slice,
+// keeping only the realised amounts (flows Procedure 1 backed out are
+// reported via OverflowToCDN instead).
+func flowEdges(flows, realized map[int64]int64, m int) []FlowEdge {
+	keys := make([]int64, 0, len(flows))
+	for k := range flows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	out := make([]FlowEdge, 0, len(keys))
+	for _, k := range keys {
+		amt := realized[k]
+		if amt <= 0 {
+			continue
+		}
+		i, j := unpackPair(k, m)
+		out = append(out, FlowEdge{
+			From:   trace.HotspotID(i),
+			To:     trace.HotspotID(j),
+			Amount: amt,
+		})
+	}
+	return out
+}
+
+// worldCapacities returns the nominal per-hotspot service capacities.
+func (s *Scheduler) worldCapacities() []int64 {
+	svc := make([]int64, len(s.world.Hotspots))
+	for h := range s.world.Hotspots {
+		svc[h] = s.world.Hotspots[h].ServiceCapacity
+	}
+	return svc
+}

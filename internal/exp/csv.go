@@ -1,0 +1,66 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteCSV emits the figure as CSV: one x column plus one column per
+// series (blank cells where a series has no point on the union grid),
+// preceded by comment lines (#) carrying the title and notes. The
+// format round-trips the exact data behind every reproduced figure for
+// external plotting.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	for _, line := range append([]string{f.Title}, f.Notes...) {
+		if _, err := fmt.Fprintf(w, "# %s\n", line); err != nil {
+			return err
+		}
+	}
+
+	xset := make(map[float64]struct{})
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			xset[x] = struct{}{}
+		}
+	}
+	grid := make([]float64, 0, len(xset))
+	for x := range xset {
+		grid = append(grid, x)
+	}
+	sort.Float64s(grid)
+
+	cw := csv.NewWriter(w)
+	header := append([]string{f.XLabel}, seriesNames(f)...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for _, x := range grid {
+		row[0] = strconv.FormatFloat(x, 'g', -1, 64)
+		for si, s := range f.Series {
+			row[si+1] = ""
+			for i, sx := range s.X {
+				if sx == x {
+					row[si+1] = strconv.FormatFloat(s.Y[i], 'g', -1, 64)
+					break
+				}
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func seriesNames(f *Figure) []string {
+	out := make([]string, len(f.Series))
+	for i, s := range f.Series {
+		out[i] = s.Name
+	}
+	return out
+}

@@ -1,0 +1,304 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/mcmf"
+	"repro/internal/predict"
+	"repro/internal/region"
+	"repro/internal/scheme"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// ExtensionExperiments lists the experiments this reproduction adds
+// beyond the paper's figures: the cross-region hierarchical mode the
+// paper proposes as future work, robustness to crowdsourced-device
+// churn, a comparison against reactive edge caching and
+// power-of-two-choices routing, and the DESIGN.md ablations.
+func ExtensionExperiments() []string {
+	return []string{
+		"ext-hier", "ext-churn", "ext-reactive",
+		"abl-guides", "abl-theta", "abl-prediction", "abl-mcmf", "abl-cluster",
+	}
+}
+
+// runExtension dispatches an extension experiment by ID.
+func (r *Runner) runExtension(id string) ([]*Figure, error) {
+	switch id {
+	case "ext-hier":
+		f, err := r.ExtHierarchical()
+		return wrap(f, err)
+	case "ext-churn":
+		f, err := r.ExtChurn()
+		return wrap(f, err)
+	case "ext-reactive":
+		f, err := r.ExtReactive()
+		return wrap(f, err)
+	case "abl-guides":
+		return r.ablate("abl-guides", "guide-node construction", []ablVariant{
+			{"avg-distance", func(p *core.Params) { p.GuideCost = core.GuideCostAvgDistance }},
+			{"avg-capacity(literal)", func(p *core.Params) { p.GuideCost = core.GuideCostAvgCapacity }},
+			{"no-guides", func(p *core.Params) { p.DisableGuides = true }},
+		})
+	case "abl-theta":
+		return r.ablate("abl-theta", "θ schedule", []ablVariant{
+			{"sweep", func(p *core.Params) {}},
+			{"single-shot", func(p *core.Params) { p.SingleShotTheta = true }},
+		})
+	case "abl-mcmf":
+		return r.ablate("abl-mcmf", "MCMF algorithm", []ablVariant{
+			{"ssp-dijkstra", func(p *core.Params) { p.Algorithm = mcmf.SSPDijkstra }},
+			{"bellman-ford", func(p *core.Params) { p.Algorithm = mcmf.BellmanFord }},
+		})
+	case "abl-cluster":
+		return r.ablate("abl-cluster", "cluster cut threshold", []ablVariant{
+			{"cut=0.5(paper)", func(p *core.Params) { p.ClusterCut = 0.5 }},
+			{"cut=0.65", func(p *core.Params) { p.ClusterCut = 0.65 }},
+			{"cut=0.75", func(p *core.Params) { p.ClusterCut = 0.75 }},
+			{"cut=0.85", func(p *core.Params) { p.ClusterCut = 0.85 }},
+		})
+	case "abl-prediction":
+		f, err := r.AblatePrediction()
+		return wrap(f, err)
+	default:
+		return nil, fmt.Errorf("exp: unknown extension experiment %q", id)
+	}
+}
+
+// ExtHierarchical compares flat RBCAer against the hierarchical
+// cross-region mode (paper Sec. VI / reference [28]) as the deployment
+// grows, reporting scheduling time and serving ratio.
+func (r *Runner) ExtHierarchical() (*Figure, error) {
+	base := r.evalConfig()
+	fig := &Figure{
+		ID:     "ext-hier",
+		Title:  "Flat RBCAer vs hierarchical cross-region RBCAer (scalability)",
+		XLabel: "hotspots",
+		YLabel: "seconds / ratio",
+	}
+	sizes := []int{1, 2, 4}
+	var xs, flatT, hierT, flatServe, hierServe []float64
+	for _, mult := range sizes {
+		cfg := base
+		cfg.NumHotspots = base.NumHotspots * mult
+		cfg.NumUsers = base.NumUsers * mult
+		cfg.NumRequests = base.NumRequests * mult
+		// Grow the area with the fleet so density stays constant.
+		grow := math.Sqrt(float64(mult))
+		cfg.Bounds.MaxX = cfg.Bounds.MinX + base.Bounds.Width()*grow
+		cfg.Bounds.MaxY = cfg.Bounds.MinY + base.Bounds.Height()*grow
+		cfg.NumRegions = base.NumRegions * mult
+		world, tr, err := trace.Generate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		flat, err := sim.Run(world, tr, scheme.NewRBCAer(core.DefaultParams()), sim.Options{Seed: r.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("exp: ext-hier flat at %dx: %w", mult, err)
+		}
+		hier, err := sim.Run(world, tr, region.NewPolicy(3.0), sim.Options{Seed: r.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("exp: ext-hier hierarchical at %dx: %w", mult, err)
+		}
+		xs = append(xs, float64(cfg.NumHotspots))
+		flatT = append(flatT, flat.SchedulingTime.Seconds())
+		hierT = append(hierT, hier.SchedulingTime.Seconds())
+		flatServe = append(flatServe, flat.HotspotServingRatio)
+		hierServe = append(hierServe, hier.HotspotServingRatio)
+	}
+	fig.AddSeries("flat-time(s)", xs, flatT)
+	fig.AddSeries("hier-time(s)", xs, hierT)
+	fig.AddSeries("flat-serving", xs, flatServe)
+	fig.AddSeries("hier-serving", xs, hierServe)
+	last := len(xs) - 1
+	if hierT[last] > 0 {
+		fig.Note("at %d hotspots the hierarchical mode schedules %.1fx faster with %.1f%% of flat serving ratio",
+			int(xs[last]), flatT[last]/hierT[last], 100*hierServe[last]/flatServe[last])
+	}
+	return fig, nil
+}
+
+// ExtChurn measures robustness to crowdsourced-device churn: serving
+// ratio of the schemes as hotspots go offline per slot.
+func (r *Runner) ExtChurn() (*Figure, error) {
+	world, tr, err := r.evalData()
+	if err != nil {
+		return nil, err
+	}
+	churns := []float64{0, 0.05, 0.1, 0.2, 0.4}
+	policies := func() []sim.Scheduler {
+		return []sim.Scheduler{
+			scheme.NewRBCAer(core.DefaultParams()),
+			scheme.Nearest{},
+			scheme.Random{RadiusKm: 1.5},
+		}
+	}
+	fig := &Figure{
+		ID:     "ext-churn",
+		Title:  "Hotspot serving ratio under device churn",
+		XLabel: "churn",
+		YLabel: "serving ratio",
+	}
+	names := make([]string, 0, 3)
+	series := make(map[string][]float64)
+	for _, churn := range churns {
+		for _, policy := range policies() {
+			m, err := sim.Run(world, tr, policy, sim.Options{Seed: r.Seed, HotspotChurn: churn})
+			if err != nil {
+				return nil, fmt.Errorf("exp: ext-churn %s at %v: %w", policy.Name(), churn, err)
+			}
+			if _, ok := series[m.Scheme]; !ok {
+				names = append(names, m.Scheme)
+			}
+			series[m.Scheme] = append(series[m.Scheme], m.HotspotServingRatio)
+		}
+	}
+	for _, name := range names {
+		fig.AddSeries(name, churns, series[name])
+	}
+	if rb := series["RBCAer"]; len(rb) == len(churns) && rb[0] > 0 {
+		fig.Note("RBCAer keeps %.0f%% of its churn-free serving ratio at 20%% churn",
+			100*rb[3]/rb[0])
+	}
+	return fig, nil
+}
+
+// ExtReactive compares the paper's proactive prefetch-and-balance
+// designs against reactive edge caching (LRU/LFU) and
+// power-of-two-choices routing over a day of hourly slots.
+func (r *Runner) ExtReactive() (*Figure, error) {
+	cfg := r.evalConfig()
+	cfg.Slots = 24
+	cfg.NumRequests *= 2 // a day's volume spread over hourly rounds
+	// Per-slot demand is ~1/12 of the single-round setup; shrink the
+	// per-slot service capacity accordingly so balancing still matters.
+	cfg.ServiceCapacityFrac /= 8
+	world, tr, err := trace.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	policies := []sim.Scheduler{
+		scheme.NewRBCAer(core.DefaultParams()),
+		scheme.Nearest{},
+		scheme.PowerOfTwo{RadiusKm: 1.5},
+		scheme.NewReactiveLRU(),
+		scheme.NewReactiveLFU(),
+	}
+	fig := &Figure{
+		ID:     "ext-reactive",
+		Title:  "Proactive prefetch vs reactive edge caching (24 hourly slots)",
+		XLabel: "metric",
+		YLabel: "value",
+	}
+	for _, policy := range policies {
+		m, err := sim.Run(world, tr, policy, sim.Options{Seed: r.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("exp: ext-reactive %s: %w", policy.Name(), err)
+		}
+		fig.AddSeries(m.Scheme,
+			[]float64{0, 1, 2},
+			[]float64{m.HotspotServingRatio, m.ReplicationCost, m.CDNServerLoad})
+		fig.Note("%s: serving %.3f, replication %.2fx, CDN load %.3f",
+			m.Scheme, m.HotspotServingRatio, m.ReplicationCost, m.CDNServerLoad)
+	}
+	fig.Note("metric axis: 0 = hotspot serving ratio, 1 = replication cost, 2 = CDN server load")
+	return fig, nil
+}
+
+// ablVariant is one parameter mutation of an RBCAer ablation.
+type ablVariant struct {
+	name string
+	mut  func(*core.Params)
+}
+
+// ablate runs RBCAer variants over the evaluation workload and reports
+// the paper's four metrics per variant.
+func (r *Runner) ablate(id, what string, variants []ablVariant) ([]*Figure, error) {
+	world, tr, err := r.evalData()
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("RBCAer ablation: %s", what),
+		XLabel: "metric",
+		YLabel: "value",
+	}
+	for _, v := range variants {
+		params := core.DefaultParams()
+		v.mut(&params)
+		m, err := sim.Run(world, tr, scheme.NewRBCAer(params), sim.Options{Seed: r.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s variant %s: %w", id, v.name, err)
+		}
+		fig.AddSeries(v.name,
+			[]float64{0, 1, 2, 3},
+			[]float64{m.HotspotServingRatio, m.AvgAccessDistanceKm, m.ReplicationCost, m.CDNServerLoad})
+		fig.Note("%s: serving %.3f, distance %.2fkm, replication %.2fx, CDN load %.3f (scheduling %v)",
+			v.name, m.HotspotServingRatio, m.AvgAccessDistanceKm, m.ReplicationCost,
+			m.CDNServerLoad, m.SchedulingTime)
+	}
+	fig.Note("metric axis: 0 = serving ratio, 1 = avg distance (km), 2 = replication cost, 3 = CDN load")
+	return []*Figure{fig}, nil
+}
+
+// AblatePrediction compares oracle per-slot demand against learned
+// demand (EWMA / AR(2) / last-value) over a day of hourly rounds.
+func (r *Runner) AblatePrediction() (*Figure, error) {
+	cfg := r.evalConfig()
+	// Two diurnal cycles (so the seasonal and factored methods have a
+	// day of history), with enough volume that each hotspot sees a few
+	// hundred requests per slot — the granularity the paper's single
+	// scheduling round operates at — and per-slot capacity pressure
+	// matching the Sec. V regime.
+	cfg.Slots = 48
+	cfg.NumRequests *= 28
+	cfg.NumUsers *= 2
+	cfg.ServiceCapacityFrac *= 0.6
+	world, tr, err := trace.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	variants := []struct {
+		name   string
+		policy sim.Scheduler
+	}{
+		{"oracle", scheme.NewRBCAer(core.DefaultParams())},
+		{"factored(seasonal)", scheme.NewFactoredPredicted(scheme.NewRBCAer(core.DefaultParams()))},
+		{"factored+overprov(4x)", scheme.NewFactoredPredicted(scheme.NewRBCAer(overprovisionParams(4)))},
+		{"seasonal(24)", &scheme.Predicted{Inner: scheme.NewRBCAer(core.DefaultParams()), Method: predict.Seasonal{Period: 24}}},
+		{"ewma(0.5)", &scheme.Predicted{Inner: scheme.NewRBCAer(core.DefaultParams()), Method: predict.EWMA{Alpha: 0.5}}},
+		{"ar(2)", &scheme.Predicted{Inner: scheme.NewRBCAer(core.DefaultParams()), Method: predict.AR{Order: 2}}},
+		{"last-value", &scheme.Predicted{Inner: scheme.NewRBCAer(core.DefaultParams()), Method: predict.LastValue{}}},
+	}
+	fig := &Figure{
+		ID:     "abl-prediction",
+		Title:  "RBCAer on oracle vs learned demand (48 hourly slots, 2 days)",
+		XLabel: "metric",
+		YLabel: "value",
+	}
+	for _, v := range variants {
+		m, err := sim.Run(world, tr, v.policy, sim.Options{Seed: r.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("exp: abl-prediction %s: %w", v.name, err)
+		}
+		fig.AddSeries(v.name,
+			[]float64{0, 1, 2},
+			[]float64{m.HotspotServingRatio, m.ReplicationCost, m.CDNServerLoad})
+		fig.Note("%s: serving %.3f, replication %.2fx, CDN load %.3f",
+			v.name, m.HotspotServingRatio, m.ReplicationCost, m.CDNServerLoad)
+	}
+	fig.Note("metric axis: 0 = serving ratio, 1 = replication cost, 2 = CDN load")
+	return fig, nil
+}
+
+// overprovisionParams returns RBCAer defaults with the cache-fill
+// budget scaled by mult.
+func overprovisionParams(mult float64) core.Params {
+	p := core.DefaultParams()
+	p.FillOverprovision = mult
+	return p
+}

@@ -1,0 +1,79 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestExtensionExperimentsRun(t *testing.T) {
+	r := NewRunner(1, 0.05)
+	for _, id := range ExtensionExperiments() {
+		if id == "ext-hier" {
+			continue // covered separately; it generates three worlds
+		}
+		t.Run(id, func(t *testing.T) {
+			figs, err := r.Run(id)
+			if err != nil {
+				t.Fatalf("Run(%s): %v", id, err)
+			}
+			if len(figs) == 0 {
+				t.Fatal("no figures")
+			}
+			var buf bytes.Buffer
+			for _, fig := range figs {
+				if fig.ID != id {
+					t.Errorf("figure ID %q, want %q", fig.ID, id)
+				}
+				if len(fig.Series) == 0 {
+					t.Error("no series")
+				}
+				if err := fig.Render(&buf); err != nil {
+					t.Fatalf("Render: %v", err)
+				}
+			}
+		})
+	}
+}
+
+func TestExtHierarchical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates three worlds")
+	}
+	r := NewRunner(1, 0.05)
+	fig, err := r.ExtHierarchical()
+	if err != nil {
+		t.Fatalf("ExtHierarchical: %v", err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("got %d series, want 4", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.X) != 3 {
+			t.Errorf("%s has %d points, want 3 fleet sizes", s.Name, len(s.X))
+		}
+	}
+}
+
+func TestExtChurnMonotone(t *testing.T) {
+	r := NewRunner(1, 0.05)
+	fig, err := r.ExtChurn()
+	if err != nil {
+		t.Fatalf("ExtChurn: %v", err)
+	}
+	for _, s := range fig.Series {
+		if len(s.Y) < 2 {
+			t.Fatalf("%s too short", s.Name)
+		}
+		// Serving at max churn must be below serving with no churn.
+		if s.Y[len(s.Y)-1] >= s.Y[0] {
+			t.Errorf("%s: serving did not degrade under churn: %v", s.Name, s.Y)
+		}
+	}
+}
+
+func TestUnknownExtension(t *testing.T) {
+	r := NewRunner(1, 0.05)
+	if _, err := r.runExtension("ext-nope"); err == nil {
+		t.Error("runExtension(unknown) succeeded")
+	}
+}

@@ -1,0 +1,386 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mcmf"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("Solve status = %v, want optimal", sol.Status)
+	}
+	return sol
+}
+
+func TestSimpleMaximisationAsMinimisation(t *testing.T) {
+	// max 3x + 2y s.t. x + y <= 4, x <= 2, y <= 3  → x=2, y=2, obj 10.
+	var p Problem
+	x := p.AddVariable(-3)
+	y := p.AddVariable(-2)
+	for _, c := range []struct {
+		row map[Var]float64
+		op  Op
+		rhs float64
+	}{
+		{map[Var]float64{x: 1, y: 1}, LE, 4},
+		{map[Var]float64{x: 1}, LE, 2},
+		{map[Var]float64{y: 1}, LE, 3},
+	} {
+		if err := p.AddConstraint(c.row, c.op, c.rhs); err != nil {
+			t.Fatalf("AddConstraint: %v", err)
+		}
+	}
+	sol := solveOK(t, &p)
+	if !almostEqual(sol.Objective, -10, 1e-6) {
+		t.Errorf("Objective = %v, want -10", sol.Objective)
+	}
+	if !almostEqual(sol.Value(x), 2, 1e-6) || !almostEqual(sol.Value(y), 2, 1e-6) {
+		t.Errorf("solution = (%v, %v), want (2, 2)", sol.Value(x), sol.Value(y))
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// min x + 2y s.t. x + y == 5, x <= 3 → x=3, y=2, obj 7.
+	var p Problem
+	x := p.AddVariable(1)
+	y := p.AddVariable(2)
+	if err := p.AddConstraint(map[Var]float64{x: 1, y: 1}, EQ, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint(map[Var]float64{x: 1}, LE, 3); err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOK(t, &p)
+	if !almostEqual(sol.Objective, 7, 1e-6) {
+		t.Errorf("Objective = %v, want 7", sol.Objective)
+	}
+}
+
+func TestGEConstraintAndNegativeRHS(t *testing.T) {
+	// min 2x + y s.t. x + y >= 4, -x - y >= -10 (i.e. x+y <= 10), y <= 3
+	// → y=3, x=1, obj 5.
+	var p Problem
+	x := p.AddVariable(2)
+	y := p.AddVariable(1)
+	if err := p.AddConstraint(map[Var]float64{x: 1, y: 1}, GE, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint(map[Var]float64{x: -1, y: -1}, GE, -10); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint(map[Var]float64{y: 1}, LE, 3); err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOK(t, &p)
+	if !almostEqual(sol.Objective, 5, 1e-6) {
+		t.Errorf("Objective = %v, want 5", sol.Objective)
+	}
+	if !almostEqual(sol.Value(x), 1, 1e-6) || !almostEqual(sol.Value(y), 3, 1e-6) {
+		t.Errorf("solution = (%v, %v), want (1, 3)", sol.Value(x), sol.Value(y))
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	var p Problem
+	x := p.AddVariable(1)
+	if err := p.AddConstraint(map[Var]float64{x: 1}, LE, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint(map[Var]float64{x: 1}, GE, 2); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != Infeasible {
+		t.Errorf("Status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	var p Problem
+	x := p.AddVariable(-1) // maximise x with no upper bound
+	y := p.AddVariable(1)
+	if err := p.AddConstraint(map[Var]float64{y: 1}, LE, 5); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != Unbounded {
+		t.Errorf("Status = %v, want unbounded", sol.Status)
+	}
+	_ = x
+}
+
+func TestNoVariables(t *testing.T) {
+	var p Problem
+	if _, err := p.Solve(); err == nil {
+		t.Error("Solve() with no variables succeeded")
+	}
+}
+
+func TestAddConstraintErrors(t *testing.T) {
+	var p Problem
+	x := p.AddVariable(1)
+	if err := p.AddConstraint(map[Var]float64{x: 1}, Op(9), 1); err == nil {
+		t.Error("AddConstraint(bad op) succeeded")
+	}
+	if err := p.AddConstraint(map[Var]float64{Var(5): 1}, LE, 1); err == nil {
+		t.Error("AddConstraint(unknown var) succeeded")
+	}
+	if err := p.AddConstraint(map[Var]float64{x: math.NaN()}, LE, 1); err == nil {
+		t.Error("AddConstraint(NaN coeff) succeeded")
+	}
+	if err := p.AddConstraint(map[Var]float64{x: 1}, LE, math.Inf(1)); err == nil {
+		t.Error("AddConstraint(Inf rhs) succeeded")
+	}
+}
+
+func TestDegenerateRedundantRows(t *testing.T) {
+	// Duplicate equality rows exercise the redundant-row handling in
+	// phase 1.
+	var p Problem
+	x := p.AddVariable(1)
+	y := p.AddVariable(1)
+	for i := 0; i < 3; i++ {
+		if err := p.AddConstraint(map[Var]float64{x: 1, y: 1}, EQ, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sol := solveOK(t, &p)
+	if !almostEqual(sol.Objective, 4, 1e-6) {
+		t.Errorf("Objective = %v, want 4", sol.Objective)
+	}
+}
+
+func TestTransportationProblem(t *testing.T) {
+	// Two suppliers (cap 10, 20), two consumers (need 15 each), costs:
+	//   s0→c0: 1, s0→c1: 4, s1→c0: 2, s1→c1: 3.
+	// Optimal: s0→c0 = 10, s1→c0 = 5, s1→c1 = 15 → 10 + 10 + 45 = 65.
+	var p Problem
+	x00 := p.AddVariable(1)
+	x01 := p.AddVariable(4)
+	x10 := p.AddVariable(2)
+	x11 := p.AddVariable(3)
+	cons := []struct {
+		row map[Var]float64
+		op  Op
+		rhs float64
+	}{
+		{map[Var]float64{x00: 1, x01: 1}, LE, 10},
+		{map[Var]float64{x10: 1, x11: 1}, LE, 20},
+		{map[Var]float64{x00: 1, x10: 1}, EQ, 15},
+		{map[Var]float64{x01: 1, x11: 1}, EQ, 15},
+	}
+	for _, c := range cons {
+		if err := p.AddConstraint(c.row, c.op, c.rhs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sol := solveOK(t, &p)
+	if !almostEqual(sol.Objective, 65, 1e-6) {
+		t.Errorf("Objective = %v, want 65", sol.Objective)
+	}
+	vals := sol.Values()
+	if len(vals) != 4 {
+		t.Fatalf("Values() length %d, want 4", len(vals))
+	}
+}
+
+// TestAgainstMCMF cross-validates the simplex against the min-cost
+// max-flow solver: random flow networks are solved both as LPs (with a
+// flow-value equality fixing the max flow) and with mcmf; optimal costs
+// must agree.
+func TestAgainstMCMF(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + rng.Intn(4)
+		type edge struct {
+			from, to int
+			cap      int64
+			cost     float64
+		}
+		var edges []edge
+		for e := 0; e < n*2; e++ {
+			from, to := rng.Intn(n), rng.Intn(n)
+			if from == to {
+				continue
+			}
+			edges = append(edges, edge{from, to, int64(1 + rng.Intn(7)), float64(rng.Intn(9))})
+		}
+		source, sink := 0, n-1
+
+		g := mcmf.NewGraph(n)
+		for _, e := range edges {
+			if _, err := g.AddEdge(e.from, e.to, e.cap, e.cost); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := g.MinCostMaxFlow(source, sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Flow == 0 {
+			continue // nothing to compare
+		}
+
+		// LP: variables f_e in [0, cap], conservation at internal
+		// nodes, net outflow at source equal to the max-flow value,
+		// minimise cost.
+		var p Problem
+		vars := make([]Var, len(edges))
+		for i, e := range edges {
+			vars[i] = p.AddVariable(e.cost)
+			if err := p.AddConstraint(map[Var]float64{vars[i]: 1}, LE, float64(e.cap)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for v := 0; v < n; v++ {
+			row := make(map[Var]float64)
+			for i, e := range edges {
+				if e.from == v {
+					row[vars[i]] += 1
+				}
+				if e.to == v {
+					row[vars[i]] -= 1
+				}
+			}
+			if len(row) == 0 {
+				continue
+			}
+			switch v {
+			case source:
+				if err := p.AddConstraint(row, EQ, float64(res.Flow)); err != nil {
+					t.Fatal(err)
+				}
+			case sink:
+				// Implied by conservation elsewhere; skip.
+			default:
+				if err := p.AddConstraint(row, EQ, 0); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		sol, err := p.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: Solve: %v", trial, err)
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: LP status %v", trial, sol.Status)
+		}
+		if !almostEqual(sol.Objective, res.Cost, 1e-5) {
+			t.Fatalf("trial %d: LP cost %v != MCMF cost %v (flow %d)",
+				trial, sol.Objective, res.Cost, res.Flow)
+		}
+	}
+}
+
+func TestSolutionValueOutOfRange(t *testing.T) {
+	var p Problem
+	x := p.AddVariable(1)
+	if err := p.AddConstraint(map[Var]float64{x: 1}, LE, 1); err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOK(t, &p)
+	if got := sol.Value(Var(99)); got != 0 {
+		t.Errorf("Value(out of range) = %v, want 0", got)
+	}
+	var nilSol *Solution
+	if got := nilSol.Value(x); got != 0 {
+		t.Errorf("nil.Value() = %v, want 0", got)
+	}
+}
+
+func TestStatusAndOpStrings(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Error("Status.String() unexpected")
+	}
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "==" {
+		t.Error("Op.String() unexpected")
+	}
+	if Status(9).String() == "" || Op(9).String() == "" {
+		t.Error("unknown enum String() empty")
+	}
+}
+
+func TestDantzigPricingMatchesBland(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 30; trial++ {
+		nVars := 3 + rng.Intn(8)
+		nCons := 2 + rng.Intn(8)
+		build := func(pricing Pricing) (*Problem, []Var) {
+			p := &Problem{Pricing: pricing}
+			vars := make([]Var, nVars)
+			rng2 := rand.New(rand.NewSource(int64(trial)))
+			for i := range vars {
+				vars[i] = p.AddVariable(rng2.Float64()*10 - 3)
+			}
+			for c := 0; c < nCons; c++ {
+				row := make(map[Var]float64)
+				for i := range vars {
+					if rng2.Intn(2) == 0 {
+						row[vars[i]] = rng2.Float64() * 5
+					}
+				}
+				if len(row) == 0 {
+					row[vars[0]] = 1
+				}
+				// <= rows with positive rhs keep the region bounded in
+				// every constrained direction; add a box to bound the
+				// rest.
+				if err := p.AddConstraint(row, LE, 1+rng2.Float64()*20); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := range vars {
+				if err := p.AddConstraint(map[Var]float64{vars[i]: 1}, LE, 50); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return p, vars
+		}
+		pb, _ := build(BlandPricing)
+		pd, _ := build(DantzigPricing)
+		sb, err := pb.Solve()
+		if err != nil {
+			t.Fatalf("trial %d bland: %v", trial, err)
+		}
+		sd, err := pd.Solve()
+		if err != nil {
+			t.Fatalf("trial %d dantzig: %v", trial, err)
+		}
+		if sb.Status != sd.Status {
+			t.Fatalf("trial %d: status %v vs %v", trial, sb.Status, sd.Status)
+		}
+		if sb.Status == Optimal && !almostEqual(sb.Objective, sd.Objective, 1e-5) {
+			t.Fatalf("trial %d: objective %v (bland) vs %v (dantzig)", trial, sb.Objective, sd.Objective)
+		}
+	}
+}
+
+func TestPricingValidation(t *testing.T) {
+	p := &Problem{Pricing: Pricing(9)}
+	p.AddVariable(1)
+	if _, err := p.Solve(); err == nil {
+		t.Error("unknown pricing accepted")
+	}
+	if BlandPricing.String() != "bland" || DantzigPricing.String() != "dantzig" {
+		t.Error("Pricing.String() unexpected")
+	}
+	if Pricing(9).String() == "" {
+		t.Error("unknown Pricing.String() empty")
+	}
+}

@@ -1,0 +1,42 @@
+package mcmf
+
+import "fmt"
+
+// CheckFlow verifies that the graph's current flow is a valid
+// source-sink flow: every edge flow lies within [0, capacity] and flow
+// is conserved at every node other than source and sink. It returns the
+// net flow out of source on success. Used by tests and by property
+// checks over the RBCAer flow networks.
+func CheckFlow(g *Graph, source, sink int) (int64, error) {
+	n := g.NumNodes()
+	if source < 0 || source >= n || sink < 0 || sink >= n {
+		return 0, fmt.Errorf("mcmf: source/sink out of range")
+	}
+	net := make([]int64, n)
+	for id := 0; id < g.NumEdges(); id++ {
+		e, err := g.EdgeInfo(EdgeID(id))
+		if err != nil {
+			return 0, err
+		}
+		if e.Flow < 0 {
+			return 0, fmt.Errorf("mcmf: edge %d has negative flow %d", id, e.Flow)
+		}
+		if e.Flow > e.Capacity {
+			return 0, fmt.Errorf("mcmf: edge %d flow %d exceeds capacity %d", id, e.Flow, e.Capacity)
+		}
+		net[e.From] += e.Flow
+		net[e.To] -= e.Flow
+	}
+	for v := 0; v < n; v++ {
+		if v == source || v == sink {
+			continue
+		}
+		if net[v] != 0 {
+			return 0, fmt.Errorf("mcmf: conservation violated at node %d (net %d)", v, net[v])
+		}
+	}
+	if net[source] != -net[sink] {
+		return 0, fmt.Errorf("mcmf: source net %d != -sink net %d", net[source], -net[sink])
+	}
+	return net[source], nil
+}

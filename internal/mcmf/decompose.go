@@ -1,0 +1,120 @@
+package mcmf
+
+import "fmt"
+
+// PathFlow is one source-to-sink path carrying Amount units of flow.
+type PathFlow struct {
+	// Nodes lists the path's nodes from source to sink.
+	Nodes []int
+	// Amount is the flow carried along the path.
+	Amount int64
+	// Cost is the per-unit cost of the path.
+	Cost float64
+}
+
+// Decompose breaks the graph's current flow into source→sink paths
+// (standard flow decomposition). The graph's flow state is not
+// modified. At most NumEdges paths are produced; flow on cycles (which
+// the min-cost algorithms never create with non-negative costs) is
+// ignored.
+//
+// The RBCAer tooling uses it to explain a balancing round: which
+// overloaded hotspot's surplus travelled through which guide node to
+// which target.
+func Decompose(g *Graph, source, sink int) ([]PathFlow, error) {
+	n := g.NumNodes()
+	if source < 0 || source >= n || sink < 0 || sink >= n {
+		return nil, fmt.Errorf("mcmf: source/sink out of range")
+	}
+	if source == sink {
+		return nil, fmt.Errorf("mcmf: source equals sink")
+	}
+
+	// Remaining per-edge flow to attribute.
+	remaining := make([]int64, g.NumEdges())
+	adj := make([][]int, n) // node -> edge ids with remaining flow
+	for id := 0; id < g.NumEdges(); id++ {
+		e, err := g.EdgeInfo(EdgeID(id))
+		if err != nil {
+			return nil, err
+		}
+		if e.Flow > 0 {
+			remaining[id] = e.Flow
+			adj[e.From] = append(adj[e.From], id)
+		}
+	}
+
+	var paths []PathFlow
+	next := make([]int, n) // per-node cursor into adj
+	for {
+		// Walk greedily from source along edges with remaining flow.
+		var nodes []int
+		var edges []int
+		visitedAt := make(map[int]int) // node -> index in nodes (cycle guard)
+		u := source
+		nodes = append(nodes, u)
+		visitedAt[u] = 0
+		for u != sink {
+			// Advance the cursor past exhausted edges.
+			found := -1
+			for next[u] < len(adj[u]) {
+				id := adj[u][next[u]]
+				if remaining[id] > 0 {
+					found = id
+					break
+				}
+				next[u]++
+			}
+			if found < 0 {
+				break
+			}
+			e, err := g.EdgeInfo(EdgeID(found))
+			if err != nil {
+				return nil, err
+			}
+			edges = append(edges, found)
+			u = e.To
+			if at, seen := visitedAt[u]; seen {
+				// Flow cycle: cancel it and restart the walk.
+				var minFlow int64 = 1 << 62
+				for _, id := range edges[at:] {
+					if remaining[id] < minFlow {
+						minFlow = remaining[id]
+					}
+				}
+				for _, id := range edges[at:] {
+					remaining[id] -= minFlow
+				}
+				nodes = nodes[:0]
+				edges = edges[:0]
+				visitedAt = map[int]int{source: 0}
+				u = source
+				nodes = append(nodes, u)
+				continue
+			}
+			visitedAt[u] = len(nodes)
+			nodes = append(nodes, u)
+		}
+		if u != sink {
+			break // no more source→sink flow
+		}
+		// Bottleneck along the path.
+		amount := remaining[edges[0]]
+		var cost float64
+		for _, id := range edges {
+			if remaining[id] < amount {
+				amount = remaining[id]
+			}
+		}
+		for _, id := range edges {
+			remaining[id] -= amount
+			e, err := g.EdgeInfo(EdgeID(id))
+			if err != nil {
+				return nil, err
+			}
+			cost += e.Cost
+		}
+		paths = append(paths, PathFlow{Nodes: nodes, Amount: amount, Cost: cost})
+	}
+	return paths, nil
+}

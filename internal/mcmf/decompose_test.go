@@ -1,0 +1,98 @@
+package mcmf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDecomposeSimplePath(t *testing.T) {
+	g := NewGraph(3)
+	mustEdge(t, g, 0, 1, 4, 1)
+	mustEdge(t, g, 1, 2, 4, 2)
+	if _, err := g.MinCostMaxFlow(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	paths, err := Decompose(g, 0, 2)
+	if err != nil {
+		t.Fatalf("Decompose: %v", err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("got %d paths, want 1", len(paths))
+	}
+	p := paths[0]
+	if p.Amount != 4 {
+		t.Errorf("Amount = %d, want 4", p.Amount)
+	}
+	if len(p.Nodes) != 3 || p.Nodes[0] != 0 || p.Nodes[2] != 2 {
+		t.Errorf("Nodes = %v", p.Nodes)
+	}
+	if !almost(p.Cost, 3) {
+		t.Errorf("Cost = %v, want 3", p.Cost)
+	}
+}
+
+func TestDecomposeNoFlow(t *testing.T) {
+	g := NewGraph(2)
+	mustEdge(t, g, 0, 1, 4, 1)
+	paths, err := Decompose(g, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 0 {
+		t.Errorf("got %d paths for zero flow", len(paths))
+	}
+}
+
+func TestDecomposeErrors(t *testing.T) {
+	g := NewGraph(2)
+	if _, err := Decompose(g, -1, 1); err == nil {
+		t.Error("Decompose(bad source) succeeded")
+	}
+	if _, err := Decompose(g, 0, 0); err == nil {
+		t.Error("Decompose(source==sink) succeeded")
+	}
+}
+
+func TestDecomposeCoversAllFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(8)
+		g := NewGraph(n)
+		for e := 0; e < 3*n; e++ {
+			from, to := rng.Intn(n), rng.Intn(n)
+			if from == to {
+				continue
+			}
+			mustEdge(t, g, from, to, int64(1+rng.Intn(9)), float64(rng.Intn(12)))
+		}
+		res, err := g.MinCostMaxFlow(0, n-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths, err := Decompose(g, 0, n-1)
+		if err != nil {
+			t.Fatalf("trial %d: Decompose: %v", trial, err)
+		}
+		var total int64
+		var totalCost float64
+		for _, p := range paths {
+			if p.Amount <= 0 {
+				t.Fatalf("trial %d: non-positive path amount", trial)
+			}
+			if p.Nodes[0] != 0 || p.Nodes[len(p.Nodes)-1] != n-1 {
+				t.Fatalf("trial %d: path endpoints %v", trial, p.Nodes)
+			}
+			total += p.Amount
+			totalCost += p.Cost * float64(p.Amount)
+		}
+		if total != res.Flow {
+			t.Fatalf("trial %d: decomposed %d units, flow is %d", trial, total, res.Flow)
+		}
+		// With non-negative costs the optimal flow has no flow cycles,
+		// so path costs must reconstruct the solve cost exactly.
+		if math.Abs(totalCost-res.Cost) > 1e-6 {
+			t.Fatalf("trial %d: path costs %v != flow cost %v", trial, totalCost, res.Cost)
+		}
+	}
+}

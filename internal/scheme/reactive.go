@@ -1,0 +1,136 @@
+package scheme
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/sim"
+	"repro/internal/similarity"
+	"repro/internal/trace"
+)
+
+// Reactive is the unmanaged-edge baseline: no prefetching and no
+// redirection. Each hotspot keeps a reactive cache (LRU/LFU/FIFO) that
+// persists across timeslots; a request is served locally on a cache
+// hit (within service capacity) and by the origin otherwise, with the
+// miss admitting the video into the cache. It quantifies what the
+// paper's proactive push-and-balance design buys over letting edge
+// caches fend for themselves.
+//
+// Within a slot the cache is evolved over the slot's requests first and
+// requests are then served against the end-of-slot contents (the
+// simulator models placement per slot); fetches for videos that were
+// admitted and evicted again inside the slot are accounted through
+// Assignment.ExtraReplicas.
+type Reactive struct {
+	// NewCache builds each hotspot's cache; nil selects cache.NewLRU.
+	NewCache cache.Constructor
+	// Label names the eviction policy in reports; empty selects "lru".
+	Label string
+
+	world  *trace.World
+	caches []cache.Cache
+	prev   []similarity.Set
+}
+
+var _ sim.Scheduler = (*Reactive)(nil)
+
+// NewReactiveLRU returns the reactive baseline with LRU caches.
+func NewReactiveLRU() *Reactive {
+	return &Reactive{
+		NewCache: func(c int) (cache.Cache, error) { return cache.NewLRU(c) },
+		Label:    "lru",
+	}
+}
+
+// NewReactiveLFU returns the reactive baseline with LFU caches.
+func NewReactiveLFU() *Reactive {
+	return &Reactive{
+		NewCache: func(c int) (cache.Cache, error) { return cache.NewLFU(c) },
+		Label:    "lfu",
+	}
+}
+
+// Name implements sim.Scheduler.
+func (p *Reactive) Name() string {
+	label := p.Label
+	if label == "" {
+		label = "lru"
+	}
+	return fmt.Sprintf("Reactive(%s)", label)
+}
+
+// Schedule implements sim.Scheduler.
+func (p *Reactive) Schedule(ctx *sim.SlotContext) (*sim.Assignment, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("scheme: nil context")
+	}
+	if p.world != ctx.World {
+		ctor := p.NewCache
+		if ctor == nil {
+			ctor = func(c int) (cache.Cache, error) { return cache.NewLRU(c) }
+		}
+		m := len(ctx.World.Hotspots)
+		p.caches = make([]cache.Cache, m)
+		p.prev = make([]similarity.Set, m)
+		for h := 0; h < m; h++ {
+			capacity := ctx.World.Hotspots[h].CacheCapacity
+			if capacity < 1 {
+				capacity = 1
+			}
+			c, err := ctor(capacity)
+			if err != nil {
+				return nil, fmt.Errorf("scheme: building cache for hotspot %d: %w", h, err)
+			}
+			p.caches[h] = c
+			p.prev[h] = similarity.Set{}
+		}
+		p.world = ctx.World
+	}
+	m := len(ctx.World.Hotspots)
+
+	// Pass 1: evolve each hotspot's cache over its aggregated requests,
+	// counting origin fetches (misses).
+	var fetches int64
+	for i := range ctx.Requests {
+		h := ctx.Nearest[i]
+		if hit, _, _ := p.caches[h].Access(int(ctx.Requests[i].Video)); !hit {
+			fetches++
+		}
+	}
+
+	// End-of-slot contents become the slot's placement.
+	placement := make([]similarity.Set, m)
+	var newlyPlaced int64
+	for h := 0; h < m; h++ {
+		placement[h] = similarity.NewSet(p.caches[h].Items()...)
+		for v := range placement[h] {
+			if !p.prev[h].Contains(v) {
+				newlyPlaced++
+			}
+		}
+	}
+
+	// Pass 2: serve against the final contents within capacity.
+	capLeft := append([]int64(nil), ctx.EffectiveCapacity()...)
+	targets := make([]int, len(ctx.Requests))
+	for i, req := range ctx.Requests {
+		h := ctx.Nearest[i]
+		if capLeft[h] > 0 && placement[h].Contains(int(req.Video)) {
+			targets[i] = h
+			capLeft[h]--
+		} else {
+			targets[i] = sim.CDN
+		}
+	}
+
+	// Fetches beyond the placement delta (admit-then-evict within the
+	// slot) are reported separately; the simulator accounts the delta.
+	extra := fetches - newlyPlaced
+	if extra < 0 {
+		return nil, fmt.Errorf("scheme: reactive accounting underflow (%d fetches, %d new placements)",
+			fetches, newlyPlaced)
+	}
+	p.prev = placement
+	return &sim.Assignment{Placement: placement, Target: targets, ExtraReplicas: extra}, nil
+}

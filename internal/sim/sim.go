@@ -1,0 +1,429 @@
+// Package sim is the trace-driven crowdsourced-CDN simulator. It
+// replays a request trace slot by slot against a world, invokes a
+// pluggable scheduling policy each slot, strictly enforces the paper's
+// constraints (a request is served by a hotspot only if the video is
+// placed there and service capacity remains, otherwise by the origin
+// CDN server), and accumulates the paper's four evaluation metrics:
+// hotspot serving ratio, average content access distance, content
+// replication cost, and CDN server load.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/similarity"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// CDN is the sentinel target meaning "served by the origin CDN server".
+const CDN = -1
+
+// SlotContext carries everything a scheduling policy may use for one
+// timeslot.
+type SlotContext struct {
+	World *trace.World
+	// Index is a spatial index over the world's hotspots.
+	Index *geo.Grid
+	// Slot is the timeslot number.
+	Slot int
+	// Requests are this slot's requests.
+	Requests []trace.Request
+	// Nearest[r] is the nearest hotspot of Requests[r] (the paper's
+	// aggregation point).
+	Nearest []int
+	// Demand is the per-hotspot per-video aggregation of Requests.
+	// Policies running on predicted demand may ignore it.
+	Demand *core.Demand
+	// Capacity[h] is hotspot h's effective service capacity this slot:
+	// normally World.Hotspots[h].ServiceCapacity, but 0 for hotspots
+	// offline due to churn. Policies must budget against this, not the
+	// world's nominal capacity.
+	Capacity []int64
+	// Rand is the slot's deterministic randomness source.
+	Rand *rand.Rand
+}
+
+// EffectiveCapacity returns ctx.Capacity, falling back to the world's
+// nominal capacities for contexts built without the field.
+func (ctx *SlotContext) EffectiveCapacity() []int64 {
+	if ctx.Capacity != nil {
+		return ctx.Capacity
+	}
+	out := make([]int64, len(ctx.World.Hotspots))
+	for h := range ctx.World.Hotspots {
+		out[h] = ctx.World.Hotspots[h].ServiceCapacity
+	}
+	return out
+}
+
+// Assignment is a policy's decision for one slot.
+type Assignment struct {
+	// Placement[h] is the set of videos hotspot h caches this slot.
+	Placement []similarity.Set
+	// Target[r] is the hotspot index that should serve Requests[r], or
+	// CDN. The simulator enforces feasibility: an infeasible target
+	// (video not placed, capacity exhausted) falls back to the CDN and
+	// is counted in Metrics.Infeasible.
+	Target []int
+	// ExtraReplicas reports origin fetches beyond the slot-to-slot
+	// placement difference the simulator already accounts (reactive
+	// caching policies fetch and evict within a slot). Most policies
+	// leave it zero.
+	ExtraReplicas int64
+}
+
+// Scheduler is a request-redirection and content-placement policy.
+type Scheduler interface {
+	// Name identifies the policy in reports ("RBCAer", "Nearest", ...).
+	Name() string
+	// Schedule decides one slot.
+	Schedule(ctx *SlotContext) (*Assignment, error)
+}
+
+// Metrics are the paper's evaluation metrics accumulated over a run.
+type Metrics struct {
+	Scheme string
+
+	TotalRequests   int64
+	ServedByHotspot int64
+	ServedByCDN     int64
+	// Infeasible counts hotspot targets the simulator had to bounce to
+	// the CDN (video missing or capacity exhausted). A correct policy
+	// keeps this near zero; it is part of ServedByCDN.
+	Infeasible int64
+
+	// HotspotServingRatio is ServedByHotspot / TotalRequests.
+	HotspotServingRatio float64
+	// AvgAccessDistanceKm averages the request→server distance, with
+	// World.CDNDistanceKm charged for CDN-served requests.
+	AvgAccessDistanceKm float64
+	// Replicas is the number of videos pushed to hotspot caches over
+	// the run (new placements only; carrying a cached video across
+	// slots is free).
+	Replicas int64
+	// ReplicationCost is Replicas / World.NumVideos (the paper's
+	// normalisation: multiples of the entire video set).
+	ReplicationCost float64
+	// CDNServerLoad is (ServedByCDN + Replicas) / TotalRequests: origin
+	// egress for misses plus replica pushes, normalised by the
+	// original workload.
+	CDNServerLoad float64
+
+	// PerHotspotLoad[h] is the nearest-aggregated workload λ_h summed
+	// over slots (the Fig. 2 distribution under Nearest routing).
+	PerHotspotLoad []int64
+	// PerHotspotServed[h] is the number of requests actually served by
+	// hotspot h over the run.
+	PerHotspotServed []int64
+	// PerHotspotSlotLoad[h][t] is λ_h per slot (the Fig. 3a series).
+	PerHotspotSlotLoad [][]int64
+
+	// OfflineHotspotSlots counts (hotspot, slot) pairs lost to churn.
+	OfflineHotspotSlots int64
+
+	// PerSlot holds a per-timeslot metrics timeline when
+	// Options.KeepSlotMetrics is set (nil otherwise).
+	PerSlot []SlotMetrics
+
+	// SchedulingTime is the total time spent inside Scheduler.Schedule.
+	SchedulingTime time.Duration
+}
+
+// SlotMetrics is one timeslot's slice of the run metrics.
+type SlotMetrics struct {
+	Slot            int
+	Requests        int64
+	ServedByHotspot int64
+	ServedByCDN     int64
+	Replicas        int64
+	// HotspotServingRatio is ServedByHotspot / Requests for this slot.
+	HotspotServingRatio float64
+}
+
+// Options configure a simulation run.
+type Options struct {
+	// Seed drives per-slot randomness handed to policies.
+	Seed int64
+	// KeepSlotLoads retains PerHotspotSlotLoad (needed for the
+	// correlation analyses; costs O(hotspots × slots) memory).
+	KeepSlotLoads bool
+	// KeepSlotMetrics retains a per-timeslot metrics timeline in
+	// Metrics.PerSlot (serving ratio, CDN load, and replicas per slot).
+	KeepSlotMetrics bool
+	// HotspotChurn is the probability that a hotspot is offline for a
+	// given slot (crowdsourced edge devices are unreliable). Offline
+	// hotspots disappear from the slot's index — requests aggregate to
+	// the nearest online hotspot — and serve nothing; their cache
+	// contents survive for when they return. 0 disables churn.
+	HotspotChurn float64
+}
+
+// Validate checks the options.
+func (o Options) Validate() error {
+	if o.HotspotChurn < 0 || o.HotspotChurn >= 1 {
+		return fmt.Errorf("sim: HotspotChurn %v outside [0, 1)", o.HotspotChurn)
+	}
+	return nil
+}
+
+// Run replays the trace against the world under the policy and returns
+// aggregate metrics.
+func Run(world *trace.World, tr *trace.Trace, policy Scheduler, opts Options) (*Metrics, error) {
+	if world == nil || tr == nil {
+		return nil, fmt.Errorf("sim: nil world or trace")
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("sim: nil policy")
+	}
+	if err := world.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: invalid world: %w", err)
+	}
+	if err := tr.Validate(world); err != nil {
+		return nil, fmt.Errorf("sim: invalid trace: %w", err)
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	index, err := world.Index()
+	if err != nil {
+		return nil, err
+	}
+	churnRng := stats.SplitRand(opts.Seed, "hotspot-churn")
+
+	m := len(world.Hotspots)
+	metrics := &Metrics{
+		Scheme:           policy.Name(),
+		PerHotspotLoad:   make([]int64, m),
+		PerHotspotServed: make([]int64, m),
+	}
+	if opts.KeepSlotLoads {
+		metrics.PerHotspotSlotLoad = make([][]int64, m)
+		for h := range metrics.PerHotspotSlotLoad {
+			metrics.PerHotspotSlotLoad[h] = make([]int64, tr.Slots)
+		}
+	}
+
+	var distanceSum float64
+	prevPlacement := make([]similarity.Set, m)
+
+	bySlot := tr.BySlot()
+	for slot, requests := range bySlot {
+		if len(requests) == 0 {
+			continue
+		}
+
+		// Churn: draw this slot's offline hotspots and index only the
+		// online ones, so demand aggregates to reachable devices.
+		slotIndex := index
+		var offline []bool
+		if opts.HotspotChurn > 0 {
+			offline = make([]bool, m)
+			online := 0
+			for h := 0; h < m; h++ {
+				if churnRng.Float64() < opts.HotspotChurn {
+					offline[h] = true
+					metrics.OfflineHotspotSlots++
+				} else {
+					online++
+				}
+			}
+			if online == 0 {
+				// Whole fleet offline: everything goes to the origin.
+				metrics.ServedByCDN += int64(len(requests))
+				metrics.TotalRequests += int64(len(requests))
+				distanceSum += world.CDNDistanceKm * float64(len(requests))
+				if opts.KeepSlotMetrics {
+					metrics.PerSlot = append(metrics.PerSlot, SlotMetrics{
+						Slot:        slot,
+						Requests:    int64(len(requests)),
+						ServedByCDN: int64(len(requests)),
+					})
+				}
+				continue
+			}
+			slotIndex, err = onlineIndex(world, offline)
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		ctx, err := BuildSlotContext(world, slotIndex, slot, requests, stats.SplitRand(opts.Seed, fmt.Sprintf("slot-%d", slot)))
+		if err != nil {
+			return nil, err
+		}
+		if offline != nil {
+			for h := 0; h < m; h++ {
+				if offline[h] {
+					ctx.Capacity[h] = 0
+				}
+			}
+		}
+		for h := 0; h < m; h++ {
+			metrics.PerHotspotLoad[h] += ctx.Demand.Totals[h]
+			if opts.KeepSlotLoads {
+				metrics.PerHotspotSlotLoad[h][slot] = ctx.Demand.Totals[h]
+			}
+		}
+
+		start := time.Now()
+		asg, err := policy.Schedule(ctx)
+		metrics.SchedulingTime += time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s slot %d: %w", policy.Name(), slot, err)
+		}
+		if err := checkAssignment(asg, m, len(requests)); err != nil {
+			return nil, fmt.Errorf("sim: %s slot %d: %w", policy.Name(), slot, err)
+		}
+
+		slotServedBefore := metrics.ServedByHotspot
+		slotCDNBefore := metrics.ServedByCDN
+		slotReplicasBefore := metrics.Replicas
+
+		// Replication accounting: only newly placed videos cost a push.
+		for h := 0; h < m; h++ {
+			pl := asg.Placement[h]
+			if pl.Len() > world.Hotspots[h].CacheCapacity {
+				return nil, fmt.Errorf("sim: %s slot %d: hotspot %d placement %d exceeds cache %d",
+					policy.Name(), slot, h, pl.Len(), world.Hotspots[h].CacheCapacity)
+			}
+			for v := range pl {
+				if prevPlacement[h] == nil || !prevPlacement[h].Contains(v) {
+					metrics.Replicas++
+				}
+			}
+		}
+
+		// Serve requests in order, enforcing placement and capacity
+		// (offline hotspots serve nothing).
+		capLeft := make([]int64, m)
+		for h := 0; h < m; h++ {
+			capLeft[h] = world.Hotspots[h].ServiceCapacity
+			if offline != nil && offline[h] {
+				capLeft[h] = 0
+			}
+		}
+		for r, req := range requests {
+			target := asg.Target[r]
+			if target != CDN {
+				feasible := capLeft[target] > 0 && asg.Placement[target].Contains(int(req.Video))
+				if !feasible {
+					metrics.Infeasible++
+					target = CDN
+				}
+			}
+			if target == CDN {
+				metrics.ServedByCDN++
+				distanceSum += world.CDNDistanceKm
+			} else {
+				capLeft[target]--
+				metrics.ServedByHotspot++
+				metrics.PerHotspotServed[target]++
+				distanceSum += req.Location.DistanceTo(world.Hotspots[target].Location)
+			}
+		}
+		metrics.TotalRequests += int64(len(requests))
+		if asg.ExtraReplicas < 0 {
+			return nil, fmt.Errorf("sim: %s slot %d: negative ExtraReplicas %d",
+				policy.Name(), slot, asg.ExtraReplicas)
+		}
+		metrics.Replicas += asg.ExtraReplicas
+		prevPlacement = asg.Placement
+
+		if opts.KeepSlotMetrics {
+			sm := SlotMetrics{
+				Slot:            slot,
+				Requests:        int64(len(requests)),
+				ServedByHotspot: metrics.ServedByHotspot - slotServedBefore,
+				ServedByCDN:     metrics.ServedByCDN - slotCDNBefore,
+				Replicas:        metrics.Replicas - slotReplicasBefore,
+			}
+			if sm.Requests > 0 {
+				sm.HotspotServingRatio = float64(sm.ServedByHotspot) / float64(sm.Requests)
+			}
+			metrics.PerSlot = append(metrics.PerSlot, sm)
+		}
+	}
+
+	if metrics.TotalRequests > 0 {
+		metrics.HotspotServingRatio = float64(metrics.ServedByHotspot) / float64(metrics.TotalRequests)
+		metrics.AvgAccessDistanceKm = distanceSum / float64(metrics.TotalRequests)
+		metrics.CDNServerLoad = (float64(metrics.ServedByCDN) + float64(metrics.Replicas)) /
+			float64(metrics.TotalRequests)
+	}
+	if world.NumVideos > 0 {
+		metrics.ReplicationCost = float64(metrics.Replicas) / float64(world.NumVideos)
+	}
+	return metrics, nil
+}
+
+// BuildSlotContext aggregates one slot's requests to their nearest
+// hotspots and packages the scheduling inputs. It is exported for
+// policies and experiments that drive scheduling outside Run.
+func BuildSlotContext(world *trace.World, index *geo.Grid, slot int, requests []trace.Request, rng *rand.Rand) (*SlotContext, error) {
+	nearest := make([]int, len(requests))
+	demand := core.NewDemand(len(world.Hotspots))
+	for r, req := range requests {
+		h, _, ok := index.Nearest(req.Location)
+		if !ok {
+			return nil, fmt.Errorf("sim: no hotspot found for request %d", req.ID)
+		}
+		nearest[r] = h
+		demand.Add(trace.HotspotID(h), req.Video, 1)
+	}
+	capacity := make([]int64, len(world.Hotspots))
+	for h := range world.Hotspots {
+		capacity[h] = world.Hotspots[h].ServiceCapacity
+	}
+	return &SlotContext{
+		World:    world,
+		Index:    index,
+		Slot:     slot,
+		Requests: requests,
+		Nearest:  nearest,
+		Demand:   demand,
+		Capacity: capacity,
+		Rand:     rng,
+	}, nil
+}
+
+// onlineIndex builds a spatial index over the world's online hotspots.
+func onlineIndex(world *trace.World, offline []bool) (*geo.Grid, error) {
+	cell := 1.0
+	if n := len(world.Hotspots); n > 0 {
+		cell = math.Max(0.05, math.Sqrt(world.Bounds.Area()/float64(n)))
+	}
+	g, err := geo.NewGrid(world.Bounds, cell)
+	if err != nil {
+		return nil, fmt.Errorf("sim: building online index: %w", err)
+	}
+	for _, h := range world.Hotspots {
+		if !offline[h.ID] {
+			g.Insert(int(h.ID), h.Location)
+		}
+	}
+	return g, nil
+}
+
+func checkAssignment(asg *Assignment, numHotspots, numRequests int) error {
+	if asg == nil {
+		return fmt.Errorf("nil assignment")
+	}
+	if len(asg.Placement) != numHotspots {
+		return fmt.Errorf("placement covers %d hotspots, want %d", len(asg.Placement), numHotspots)
+	}
+	if len(asg.Target) != numRequests {
+		return fmt.Errorf("assignment covers %d requests, want %d", len(asg.Target), numRequests)
+	}
+	for r, t := range asg.Target {
+		if t != CDN && (t < 0 || t >= numHotspots) {
+			return fmt.Errorf("request %d target %d out of range", r, t)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+// Package similarity provides content-set similarity primitives: the
+// Jaccard coefficient over video sets and extraction of the "top-X%"
+// content set of a hotspot from its demand vector. The paper uses the
+// Jaccard similarity of nearby hotspots' top-20% content sets both in
+// its measurement study (Fig. 3b) and as the clustering distance of the
+// content-aggregation stage (Eq. 13).
+package similarity
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Set is a set of video (or other) integer identifiers.
+type Set map[int]struct{}
+
+// NewSet builds a set from ids, dropping duplicates.
+func NewSet(ids ...int) Set {
+	s := make(Set, len(ids))
+	for _, id := range ids {
+		s[id] = struct{}{}
+	}
+	return s
+}
+
+// Contains reports whether id is in the set.
+func (s Set) Contains(id int) bool {
+	_, ok := s[id]
+	return ok
+}
+
+// Add inserts id.
+func (s Set) Add(id int) { s[id] = struct{}{} }
+
+// Len returns the cardinality.
+func (s Set) Len() int { return len(s) }
+
+// Sorted returns the members in ascending order.
+func (s Set) Sorted() []int {
+	out := make([]int, 0, len(s))
+	for id := range s {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Jaccard returns |a ∩ b| / |a ∪ b| (Eq. 1 of the paper). Two empty
+// sets are defined to have similarity 1 (identical), matching the
+// convention that an empty hotspot is trivially similar to another
+// empty one.
+func Jaccard(a, b Set) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	small, large := a, b
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	inter := 0
+	for id := range small {
+		if large.Contains(id) {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// JaccardDistance returns 1 - Jaccard(a, b), the content-aware distance
+// Jd of Eq. 13.
+func JaccardDistance(a, b Set) float64 { return 1 - Jaccard(a, b) }
+
+// TopFraction returns the items accounting for the top frac of entries
+// by demand, i.e. the ceil(frac*|support|) most-demanded items. The
+// paper uses frac = 0.20 ("Top-20%"), justified by the Pareto 80/20
+// rule of video popularity. Ties are broken deterministically by
+// smaller identifier. frac must be in (0, 1].
+func TopFraction(demand map[int]int64, frac float64) (Set, error) {
+	if frac <= 0 || frac > 1 {
+		return nil, fmt.Errorf("similarity: fraction %v outside (0, 1]", frac)
+	}
+	if len(demand) == 0 {
+		return Set{}, nil
+	}
+	k := int(float64(len(demand))*frac + 0.999999)
+	if k < 1 {
+		k = 1
+	}
+	return TopK(demand, k)
+}
+
+// TopK returns the k most-demanded items (all items when k exceeds the
+// support). Ties are broken deterministically by smaller identifier.
+func TopK(demand map[int]int64, k int) (Set, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("similarity: negative k %d", k)
+	}
+	type entry struct {
+		id  int
+		cnt int64
+	}
+	entries := make([]entry, 0, len(demand))
+	for id, cnt := range demand {
+		entries = append(entries, entry{id: id, cnt: cnt})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].cnt != entries[j].cnt {
+			return entries[i].cnt > entries[j].cnt
+		}
+		return entries[i].id < entries[j].id
+	})
+	if k > len(entries) {
+		k = len(entries)
+	}
+	out := make(Set, k)
+	for _, e := range entries[:k] {
+		out.Add(e.id)
+	}
+	return out, nil
+}
+
+// RankedIDs returns all item ids ordered by descending demand with ties
+// broken by smaller identifier. Used by cache-filling policies that
+// replicate "most popular first".
+func RankedIDs(demand map[int]int64) []int {
+	type entry struct {
+		id  int
+		cnt int64
+	}
+	entries := make([]entry, 0, len(demand))
+	for id, cnt := range demand {
+		entries = append(entries, entry{id: id, cnt: cnt})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].cnt != entries[j].cnt {
+			return entries[i].cnt > entries[j].cnt
+		}
+		return entries[i].id < entries[j].id
+	})
+	out := make([]int, len(entries))
+	for i, e := range entries {
+		out[i] = e.id
+	}
+	return out
+}

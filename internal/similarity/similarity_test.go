@@ -1,0 +1,179 @@
+package similarity
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(3, 1, 2, 3)
+	if s.Len() != 3 {
+		t.Errorf("Len() = %d, want 3 (duplicates dropped)", s.Len())
+	}
+	if !s.Contains(1) || s.Contains(9) {
+		t.Error("Contains() wrong")
+	}
+	s.Add(9)
+	if !s.Contains(9) {
+		t.Error("Add() did not insert")
+	}
+	got := s.Sorted()
+	want := []int{1, 2, 3, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sorted() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestJaccardKnownValues(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Set
+		want float64
+	}{
+		{"identical", NewSet(1, 2, 3), NewSet(1, 2, 3), 1},
+		{"disjoint", NewSet(1, 2), NewSet(3, 4), 0},
+		{"half", NewSet(1, 2), NewSet(2, 3), 1.0 / 3},
+		{"subset", NewSet(1, 2, 3, 4), NewSet(1, 2), 0.5},
+		{"both empty", Set{}, Set{}, 1},
+		{"one empty", NewSet(1), Set{}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Jaccard(tt.a, tt.b); got != tt.want {
+				t.Errorf("Jaccard() = %v, want %v", got, tt.want)
+			}
+			if got := Jaccard(tt.b, tt.a); got != tt.want {
+				t.Errorf("Jaccard() reversed = %v, want %v", got, tt.want)
+			}
+			if got, want := JaccardDistance(tt.a, tt.b), 1-tt.want; got != want {
+				t.Errorf("JaccardDistance() = %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+func TestJaccardBoundsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(na, nb uint8) bool {
+		a := make(Set)
+		b := make(Set)
+		for i := 0; i < int(na%40); i++ {
+			a.Add(rng.Intn(30))
+		}
+		for i := 0; i < int(nb%40); i++ {
+			b.Add(rng.Intn(30))
+		}
+		j := Jaccard(a, b)
+		if j < 0 || j > 1 {
+			return false
+		}
+		return Jaccard(a, b) == Jaccard(b, a) && Jaccard(a, a) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	demand := map[int]int64{10: 5, 20: 3, 30: 3, 40: 1}
+	got, err := TopK(demand, 2)
+	if err != nil {
+		t.Fatalf("TopK: %v", err)
+	}
+	// 10 (count 5) then the tie 20/30 broken by smaller id → 20.
+	if !got.Contains(10) || !got.Contains(20) || got.Len() != 2 {
+		t.Errorf("TopK(2) = %v, want {10, 20}", got.Sorted())
+	}
+	all, err := TopK(demand, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Len() != 4 {
+		t.Errorf("TopK(99) = %d items, want 4", all.Len())
+	}
+	if _, err := TopK(demand, -1); err == nil {
+		t.Error("TopK(-1) succeeded")
+	}
+	zero, err := TopK(demand, 0)
+	if err != nil || zero.Len() != 0 {
+		t.Errorf("TopK(0) = %v (err %v), want empty", zero, err)
+	}
+}
+
+func TestTopFraction(t *testing.T) {
+	demand := make(map[int]int64)
+	for i := 0; i < 10; i++ {
+		demand[i] = int64(100 - i)
+	}
+	got, err := TopFraction(demand, 0.2)
+	if err != nil {
+		t.Fatalf("TopFraction: %v", err)
+	}
+	if got.Len() != 2 || !got.Contains(0) || !got.Contains(1) {
+		t.Errorf("TopFraction(0.2) = %v, want {0, 1}", got.Sorted())
+	}
+	// Rounding up: 20% of 3 items is 1 (ceil of 0.6).
+	small := map[int]int64{1: 3, 2: 2, 3: 1}
+	got, err = TopFraction(small, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || !got.Contains(1) {
+		t.Errorf("TopFraction(0.2 of 3) = %v, want {1}", got.Sorted())
+	}
+	if _, err := TopFraction(demand, 0); err == nil {
+		t.Error("TopFraction(0) succeeded")
+	}
+	if _, err := TopFraction(demand, 1.1); err == nil {
+		t.Error("TopFraction(>1) succeeded")
+	}
+	empty, err := TopFraction(map[int]int64{}, 0.5)
+	if err != nil || empty.Len() != 0 {
+		t.Errorf("TopFraction(empty) = %v (err %v), want empty", empty, err)
+	}
+}
+
+func TestRankedIDs(t *testing.T) {
+	demand := map[int]int64{5: 1, 1: 9, 3: 9, 7: 4}
+	got := RankedIDs(demand)
+	want := []int{1, 3, 7, 5} // counts 9, 9 (tie → smaller id), 4, 1
+	if len(got) != len(want) {
+		t.Fatalf("RankedIDs() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RankedIDs() = %v, want %v", got, want)
+		}
+	}
+	if got := RankedIDs(nil); len(got) != 0 {
+		t.Errorf("RankedIDs(nil) = %v, want empty", got)
+	}
+}
+
+func TestTopKDeterministic(t *testing.T) {
+	demand := map[int]int64{}
+	for i := 0; i < 50; i++ {
+		demand[i] = 1 // all tied
+	}
+	first, err := TopK(demand, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		again, err := TopK(demand, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again) != len(first) {
+			t.Fatal("TopK not deterministic in size")
+		}
+		for id := range first {
+			if !again.Contains(id) {
+				t.Fatal("TopK not deterministic under map iteration order")
+			}
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Pearson returns the Pearson product-moment correlation coefficient of
+// the paired samples xs and ys. It returns an error when lengths differ
+// or fewer than two pairs are given, and NaN when either sample is
+// constant (undefined correlation).
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("stats: need at least 2 pairs, got %d", len(xs))
+	}
+	mx := Mean(xs)
+	my := Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN(), nil
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// Ranks returns the 1-based fractional ranks of xs, assigning tied
+// values the average of the ranks they span (the convention required
+// for Spearman correlation with ties).
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Average rank over the tie group [i, j].
+		avg := (float64(i+1) + float64(j+1)) / 2
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Spearman returns Spearman's rank correlation coefficient of the
+// paired samples, computed as the Pearson correlation of their
+// fractional ranks (correct in the presence of ties). This is the
+// workload-correlation metric of the paper's Fig. 3a.
+func Spearman(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("stats: need at least 2 pairs, got %d", len(xs))
+	}
+	return Pearson(Ranks(xs), Ranks(ys))
+}

@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPearsonKnownValues(t *testing.T) {
+	tests := []struct {
+		name   string
+		xs, ys []float64
+		want   float64
+	}{
+		{"perfect positive", []float64{1, 2, 3, 4}, []float64{2, 4, 6, 8}, 1},
+		{"perfect negative", []float64{1, 2, 3, 4}, []float64{8, 6, 4, 2}, -1},
+		{"affine invariant", []float64{1, 2, 3}, []float64{10, 20, 30}, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Pearson(tt.xs, tt.ys)
+			if err != nil {
+				t.Fatalf("Pearson: %v", err)
+			}
+			if !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Pearson() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPearsonErrorsAndNaN(t *testing.T) {
+	if _, err := Pearson([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("Pearson(length mismatch) succeeded")
+	}
+	if _, err := Pearson([]float64{1}, []float64{1}); err == nil {
+		t.Error("Pearson(single pair) succeeded")
+	}
+	got, err := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatalf("Pearson(constant): %v", err)
+	}
+	if !math.IsNaN(got) {
+		t.Errorf("Pearson(constant x) = %v, want NaN", got)
+	}
+}
+
+func TestRanks(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		want []float64
+	}{
+		{"no ties", []float64{30, 10, 20}, []float64{3, 1, 2}},
+		{"with ties", []float64{1, 2, 2, 3}, []float64{1, 2.5, 2.5, 4}},
+		{"all tied", []float64{5, 5, 5}, []float64{2, 2, 2}},
+		{"single", []float64{7}, []float64{1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Ranks(tt.xs)
+			if len(got) != len(tt.want) {
+				t.Fatalf("Ranks() length %d, want %d", len(got), len(tt.want))
+			}
+			for i := range got {
+				if !almostEqual(got[i], tt.want[i], 1e-12) {
+					t.Errorf("Ranks()[%d] = %v, want %v", i, got[i], tt.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestRanksSumProperty(t *testing.T) {
+	// Fractional ranks always sum to n(n+1)/2 regardless of ties.
+	rng := rand.New(rand.NewSource(17))
+	f := func(n uint8) bool {
+		size := int(n%30) + 1
+		xs := make([]float64, size)
+		for i := range xs {
+			xs[i] = float64(rng.Intn(5)) // force ties
+		}
+		got := Sum(Ranks(xs))
+		want := float64(size*(size+1)) / 2
+		return almostEqual(got, want, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpearmanKnownValues(t *testing.T) {
+	// Monotone but non-linear: Spearman 1, Pearson < 1.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125}
+	rho, err := Spearman(xs, ys)
+	if err != nil {
+		t.Fatalf("Spearman: %v", err)
+	}
+	if !almostEqual(rho, 1, 1e-12) {
+		t.Errorf("Spearman(monotone) = %v, want 1", rho)
+	}
+	pearson, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pearson >= 1-1e-9 {
+		t.Errorf("Pearson(cubic) = %v, expected < 1", pearson)
+	}
+
+	// Hand-computed example with a tie:
+	// xs ranks: 1, 2.5, 2.5, 4; ys ranks: 2, 1, 3, 4.
+	rho2, err := Spearman([]float64{10, 20, 20, 30}, []float64{5, 1, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pearson of the rank vectors: sxy=3, sxx=4.5, syy=5 → 3/sqrt(22.5).
+	want := 3 / math.Sqrt(22.5)
+	if !almostEqual(rho2, want, 1e-9) {
+		t.Errorf("Spearman(ties) = %v, want %v", rho2, want)
+	}
+}
+
+func TestSpearmanMonotoneInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	f := func(n uint8) bool {
+		size := int(n%40) + 3
+		xs := make([]float64, size)
+		ys := make([]float64, size)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = rng.NormFloat64()
+		}
+		r1, err1 := Spearman(xs, ys)
+		// Apply a strictly increasing transform to ys.
+		ys2 := make([]float64, size)
+		for i, y := range ys {
+			ys2[i] = math.Exp(y)
+		}
+		r2, err2 := Spearman(xs, ys2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almostEqual(r1, r2, 1e-9) && r1 >= -1-1e-9 && r1 <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpearmanErrors(t *testing.T) {
+	if _, err := Spearman([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("Spearman(length mismatch) succeeded")
+	}
+	if _, err := Spearman([]float64{1}, []float64{2}); err == nil {
+		t.Error("Spearman(single pair) succeeded")
+	}
+}

@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Gini returns the Gini coefficient of the non-negative sample: 0 for
+// perfectly even values, approaching 1 as a few values dominate. The
+// measurement tooling uses it to summarise hotspot workload inequality
+// (the Fig. 2 skew) as one number.
+func Gini(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: empty Gini sample")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if sorted[0] < 0 {
+		return 0, fmt.Errorf("stats: negative value %v in Gini sample", sorted[0])
+	}
+	var cum, weighted float64
+	for i, x := range sorted {
+		cum += x
+		weighted += float64(i+1) * x
+	}
+	if cum == 0 {
+		return 0, nil // all zero: perfectly even
+	}
+	n := float64(len(sorted))
+	return (2*weighted/(n*cum) - (n+1)/n), nil
+}
+
+// ZipfFit is a rank-frequency power-law fit: frequency of the r-th most
+// frequent item ≈ C * r^(-Alpha).
+type ZipfFit struct {
+	Alpha float64
+	// LogC is the intercept of the log-log regression (ln C).
+	LogC float64
+	// R2 is the coefficient of determination of the log-log fit.
+	R2 float64
+}
+
+// FitZipf fits a Zipf law to positive frequency counts by ordinary
+// least squares on (ln rank, ln frequency). It needs at least two
+// positive counts. The trace tooling uses it to verify the generator's
+// popularity skew against the configured exponent.
+func FitZipf(counts []float64) (ZipfFit, error) {
+	freqs := make([]float64, 0, len(counts))
+	for _, c := range counts {
+		if c > 0 {
+			freqs = append(freqs, c)
+		}
+	}
+	if len(freqs) < 2 {
+		return ZipfFit{}, fmt.Errorf("stats: need >= 2 positive counts, got %d", len(freqs))
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(freqs)))
+
+	n := float64(len(freqs))
+	var sx, sy, sxx, sxy float64
+	for i, f := range freqs {
+		x := math.Log(float64(i + 1))
+		y := math.Log(f)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return ZipfFit{}, fmt.Errorf("stats: degenerate rank axis")
+	}
+	slope := (n*sxy - sx*sy) / denom
+	intercept := (sy - slope*sx) / n
+
+	// R^2 against the fitted line.
+	meanY := sy / n
+	var ssTot, ssRes float64
+	for i, f := range freqs {
+		x := math.Log(float64(i + 1))
+		y := math.Log(f)
+		pred := intercept + slope*x
+		ssTot += (y - meanY) * (y - meanY)
+		ssRes += (y - pred) * (y - pred)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return ZipfFit{Alpha: -slope, LogC: intercept, R2: r2}, nil
+}

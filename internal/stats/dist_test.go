@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGini(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		want float64
+		tol  float64
+	}{
+		{"perfectly even", []float64{5, 5, 5, 5}, 0, 1e-12},
+		{"all zero", []float64{0, 0, 0}, 0, 1e-12},
+		{"one holder", []float64{0, 0, 0, 10}, 0.75, 1e-12},
+		{"two values", []float64{1, 3}, 0.25, 1e-12},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Gini(tt.xs)
+			if err != nil {
+				t.Fatalf("Gini: %v", err)
+			}
+			if !almostEqual(got, tt.want, tt.tol) {
+				t.Errorf("Gini() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+	if _, err := Gini(nil); err == nil {
+		t.Error("Gini(empty) succeeded")
+	}
+	if _, err := Gini([]float64{1, -1}); err == nil {
+		t.Error("Gini(negative) succeeded")
+	}
+}
+
+func TestGiniBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(100)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		g, err := Gini(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g < -1e-9 || g >= 1 {
+			t.Fatalf("Gini = %v outside [0, 1)", g)
+		}
+	}
+}
+
+func TestFitZipfRecoversExponent(t *testing.T) {
+	// Exact Zipf counts: frequency of rank r is 1000 * r^-0.8.
+	counts := make([]float64, 200)
+	for r := range counts {
+		counts[r] = 1000 * math.Pow(float64(r+1), -0.8)
+	}
+	fit, err := FitZipf(counts)
+	if err != nil {
+		t.Fatalf("FitZipf: %v", err)
+	}
+	if !almostEqual(fit.Alpha, 0.8, 1e-6) {
+		t.Errorf("Alpha = %v, want 0.8", fit.Alpha)
+	}
+	if !almostEqual(fit.LogC, math.Log(1000), 1e-6) {
+		t.Errorf("LogC = %v, want ln(1000)", fit.LogC)
+	}
+	if fit.R2 < 0.999999 {
+		t.Errorf("R2 = %v, want ~1 for exact data", fit.R2)
+	}
+}
+
+func TestFitZipfNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	counts := make([]float64, 500)
+	for r := range counts {
+		counts[r] = 5000 * math.Pow(float64(r+1), -1.1) * math.Exp(rng.NormFloat64()*0.1)
+	}
+	fit, err := FitZipf(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Alpha, 1.1, 0.05) {
+		t.Errorf("Alpha = %v, want ~1.1", fit.Alpha)
+	}
+	if fit.R2 < 0.95 {
+		t.Errorf("R2 = %v, want > 0.95", fit.R2)
+	}
+}
+
+func TestFitZipfIgnoresZeros(t *testing.T) {
+	counts := []float64{100, 50, 0, 0, 25}
+	fit, err := FitZipf(counts)
+	if err != nil {
+		t.Fatalf("FitZipf: %v", err)
+	}
+	// Frequencies 100, 50, 25 at ranks 1..3 are exactly r^-1 scaled;
+	// ln(100) - alpha*ln(r): 100 → 50 is factor 2 over rank factor 2,
+	// 100 → 25 is factor 4 over rank factor 3 — alpha fitted between.
+	if fit.Alpha <= 0 {
+		t.Errorf("Alpha = %v, want positive", fit.Alpha)
+	}
+}
+
+func TestFitZipfErrors(t *testing.T) {
+	if _, err := FitZipf(nil); err == nil {
+		t.Error("FitZipf(empty) succeeded")
+	}
+	if _, err := FitZipf([]float64{5}); err == nil {
+		t.Error("FitZipf(single) succeeded")
+	}
+	if _, err := FitZipf([]float64{0, 0, 5}); err == nil {
+		t.Error("FitZipf(one positive) succeeded")
+	}
+}

@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Alias is a Walker alias-method sampler over a fixed discrete
+// distribution: O(n) construction, O(1) per sample. It backs the trace
+// generator's Zipf-with-local-perturbation popularity draws, where the
+// rand.Zipf restriction s > 1 is too limiting.
+type Alias struct {
+	prob  []float64
+	alias []int
+}
+
+// NewAlias builds a sampler over weights (non-negative, at least one
+// positive). Weight i is proportional to the probability of drawing i.
+func NewAlias(weights []float64) (*Alias, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("stats: empty weight vector")
+	}
+	var total float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("stats: invalid weight %v at index %d", w, i)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("stats: all weights are zero")
+	}
+
+	a := &Alias{
+		prob:  make([]float64, n),
+		alias: make([]int, n),
+	}
+	scaled := make([]float64, n)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	return a, nil
+}
+
+// Len returns the support size.
+func (a *Alias) Len() int { return len(a.prob) }
+
+// Sample draws one index from the distribution using rng.
+func (a *Alias) Sample(rng *rand.Rand) int {
+	i := rng.Intn(len(a.prob))
+	if rng.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}
+
+// ZipfWeights returns n weights following a Zipf law with exponent
+// alpha: weight of rank r (0-based) is (r+1)^(-alpha). alpha may be any
+// non-negative value, including the [0, 1] range rand.Zipf cannot
+// express; alpha = 0 is uniform.
+func ZipfWeights(n int, alpha float64) ([]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("stats: non-positive support size %d", n)
+	}
+	if alpha < 0 || math.IsNaN(alpha) {
+		return nil, fmt.Errorf("stats: negative Zipf exponent %v", alpha)
+	}
+	w := make([]float64, n)
+	for r := 0; r < n; r++ {
+		w[r] = math.Pow(float64(r+1), -alpha)
+	}
+	return w, nil
+}
+
+// NewZipf returns an alias sampler over a Zipf(alpha) distribution with
+// n ranks, where index 0 is the most popular rank.
+func NewZipf(n int, alpha float64) (*Alias, error) {
+	w, err := ZipfWeights(n, alpha)
+	if err != nil {
+		return nil, err
+	}
+	return NewAlias(w)
+}
+
+// SplitRand derives an independent deterministic child generator from a
+// seed and a stream label. Every randomised component of the
+// reproduction draws from its own stream so that changing one component
+// does not perturb the others.
+func SplitRand(seed int64, stream string) *rand.Rand {
+	h := uint64(seed)
+	for _, b := range []byte(stream) {
+		// FNV-1a style mixing of the stream label into the seed.
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	// splitmix64 finaliser for avalanche.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return rand.New(rand.NewSource(int64(h)))
+}

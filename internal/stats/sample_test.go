@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewAliasErrors(t *testing.T) {
+	tests := []struct {
+		name    string
+		weights []float64
+	}{
+		{"empty", nil},
+		{"all zero", []float64{0, 0}},
+		{"negative", []float64{1, -1}},
+		{"NaN", []float64{1, math.NaN()}},
+		{"Inf", []float64{1, math.Inf(1)}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewAlias(tt.weights); err == nil {
+				t.Error("NewAlias() succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestAliasSingleOutcome(t *testing.T) {
+	a, err := NewAlias([]float64{3})
+	if err != nil {
+		t.Fatalf("NewAlias: %v", err)
+	}
+	rng := SplitRand(1, "alias-single")
+	for i := 0; i < 100; i++ {
+		if got := a.Sample(rng); got != 0 {
+			t.Fatalf("Sample() = %d, want 0", got)
+		}
+	}
+}
+
+func TestAliasZeroWeightNeverSampled(t *testing.T) {
+	a, err := NewAlias([]float64{1, 0, 1})
+	if err != nil {
+		t.Fatalf("NewAlias: %v", err)
+	}
+	rng := SplitRand(2, "alias-zero")
+	for i := 0; i < 5000; i++ {
+		if got := a.Sample(rng); got == 1 {
+			t.Fatal("Sample() returned zero-weight index 1")
+		}
+	}
+}
+
+func TestAliasDistribution(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatalf("NewAlias: %v", err)
+	}
+	if a.Len() != 4 {
+		t.Errorf("Len() = %d, want 4", a.Len())
+	}
+	rng := SplitRand(3, "alias-dist")
+	const n = 200000
+	counts := make([]int, len(weights))
+	for i := 0; i < n; i++ {
+		counts[a.Sample(rng)]++
+	}
+	total := Sum(weights)
+	for i, w := range weights {
+		want := w / total
+		got := float64(counts[i]) / n
+		// 200k samples: empirical frequency within ~1% absolute.
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("index %d frequency %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestZipfWeights(t *testing.T) {
+	w, err := ZipfWeights(4, 1)
+	if err != nil {
+		t.Fatalf("ZipfWeights: %v", err)
+	}
+	want := []float64{1, 0.5, 1.0 / 3, 0.25}
+	for i := range want {
+		if !almostEqual(w[i], want[i], 1e-12) {
+			t.Errorf("weight[%d] = %v, want %v", i, w[i], want[i])
+		}
+	}
+	// alpha 0 is uniform.
+	u, err := ZipfWeights(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range u {
+		if v != 1 {
+			t.Errorf("uniform weight[%d] = %v, want 1", i, v)
+		}
+	}
+	if _, err := ZipfWeights(0, 1); err == nil {
+		t.Error("ZipfWeights(0) succeeded")
+	}
+	if _, err := ZipfWeights(3, -1); err == nil {
+		t.Error("ZipfWeights(alpha<0) succeeded")
+	}
+}
+
+func TestNewZipfHeadHeavierThanTail(t *testing.T) {
+	z, err := NewZipf(100, 1.0)
+	if err != nil {
+		t.Fatalf("NewZipf: %v", err)
+	}
+	rng := SplitRand(4, "zipf")
+	var head, tail int
+	for i := 0; i < 50000; i++ {
+		s := z.Sample(rng)
+		if s < 10 {
+			head++
+		}
+		if s >= 90 {
+			tail++
+		}
+	}
+	if head <= 5*tail {
+		t.Errorf("head draws %d not much heavier than tail draws %d", head, tail)
+	}
+}
+
+func TestSplitRandDeterminismAndIndependence(t *testing.T) {
+	a1 := SplitRand(42, "stream-a")
+	a2 := SplitRand(42, "stream-a")
+	b := SplitRand(42, "stream-b")
+	other := SplitRand(43, "stream-a")
+
+	sameAsA1 := true
+	diffFromB := false
+	diffFromOther := false
+	for i := 0; i < 32; i++ {
+		v1 := a1.Int63()
+		if v1 != a2.Int63() {
+			sameAsA1 = false
+		}
+		if v1 != b.Int63() {
+			diffFromB = true
+		}
+		if v1 != other.Int63() {
+			diffFromOther = true
+		}
+	}
+	if !sameAsA1 {
+		t.Error("same seed+stream produced different sequences")
+	}
+	if !diffFromB {
+		t.Error("different streams produced identical sequences")
+	}
+	if !diffFromOther {
+		t.Error("different seeds produced identical sequences")
+	}
+}

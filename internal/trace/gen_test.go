@@ -1,0 +1,247 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/stats"
+)
+
+// smallConfig returns a fast-to-generate configuration that still
+// exhibits the calibrated statistics.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.NumHotspots = 60
+	cfg.NumVideos = 3000
+	cfg.NumUsers = 5000
+	cfg.NumRequests = 8000
+	cfg.NumRegions = 8
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("DefaultConfig invalid: %v", err)
+	}
+	if err := MeasurementConfig().Validate(); err != nil {
+		t.Fatalf("MeasurementConfig invalid: %v", err)
+	}
+	mutations := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero hotspots", func(c *Config) { c.NumHotspots = 0 }},
+		{"zero videos", func(c *Config) { c.NumVideos = 0 }},
+		{"zero users", func(c *Config) { c.NumUsers = 0 }},
+		{"zero requests", func(c *Config) { c.NumRequests = 0 }},
+		{"zero slots", func(c *Config) { c.Slots = 0 }},
+		{"zero regions", func(c *Config) { c.NumRegions = 0 }},
+		{"bad bounds", func(c *Config) { c.Bounds = geo.Rect{MinX: 1, MaxX: 0} }},
+		{"uniform frac > 1", func(c *Config) { c.HotspotUniformFrac = 1.5 }},
+		{"negative locality", func(c *Config) { c.LocalityWeight = -0.1 }},
+		{"zero catalogue", func(c *Config) { c.LocalCatalogFrac = 0 }},
+		{"negative zipf", func(c *Config) { c.ZipfAlpha = -1 }},
+		{"zero region std", func(c *Config) { c.RegionStdKm = 0 }},
+		{"negative capacity frac", func(c *Config) { c.ServiceCapacityFrac = -0.1 }},
+		{"negative cdn distance", func(c *Config) { c.CDNDistanceKm = -1 }},
+		{"negative jitter", func(c *Config) { c.JitterStdKm = -1 }},
+		{"slot noise > 1", func(c *Config) { c.SlotNoise = 2 }},
+	}
+	for _, tt := range mutations {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tt.mut(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Error("Validate() succeeded, want error")
+			}
+			if _, _, err := Generate(cfg); err == nil {
+				t.Error("Generate() succeeded on invalid config")
+			}
+		})
+	}
+}
+
+func TestGenerateBasics(t *testing.T) {
+	cfg := smallConfig()
+	world, tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if err := world.Validate(); err != nil {
+		t.Fatalf("generated world invalid: %v", err)
+	}
+	if err := tr.Validate(world); err != nil {
+		t.Fatalf("generated trace invalid: %v", err)
+	}
+	if len(world.Hotspots) != cfg.NumHotspots {
+		t.Errorf("hotspots = %d, want %d", len(world.Hotspots), cfg.NumHotspots)
+	}
+	if len(tr.Requests) != cfg.NumRequests {
+		t.Errorf("requests = %d, want %d", len(tr.Requests), cfg.NumRequests)
+	}
+	if world.NumVideos != cfg.NumVideos {
+		t.Errorf("videos = %d, want %d", world.NumVideos, cfg.NumVideos)
+	}
+	// Paper conventions: capacity/cache fractions of the video set.
+	wantSvc := int64(float64(cfg.NumVideos)*cfg.ServiceCapacityFrac + 0.5)
+	wantCache := int(float64(cfg.NumVideos)*cfg.CacheCapacityFrac + 0.5)
+	for _, h := range world.Hotspots {
+		if h.ServiceCapacity != wantSvc {
+			t.Fatalf("hotspot %d capacity %d, want %d", h.ID, h.ServiceCapacity, wantSvc)
+		}
+		if h.CacheCapacity != wantCache {
+			t.Fatalf("hotspot %d cache %d, want %d", h.ID, h.CacheCapacity, wantCache)
+		}
+		if !world.Bounds.Contains(h.Location) {
+			t.Fatalf("hotspot %d outside bounds: %v", h.ID, h.Location)
+		}
+	}
+	for _, r := range tr.Requests {
+		if !world.Bounds.Contains(r.Location) {
+			t.Fatalf("request %d outside bounds: %v", r.ID, r.Location)
+		}
+	}
+	// Default CDN distance is the region diagonal (paper's 20 km).
+	if got, want := world.CDNDistanceKm, world.Bounds.Diagonal(); got != want {
+		t.Errorf("CDN distance = %v, want diagonal %v", got, want)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	w1, t1, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, t2, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w1.Hotspots {
+		if w1.Hotspots[i] != w2.Hotspots[i] {
+			t.Fatalf("hotspot %d differs between runs", i)
+		}
+	}
+	for i := range t1.Requests {
+		if t1.Requests[i] != t2.Requests[i] {
+			t.Fatalf("request %d differs between runs", i)
+		}
+	}
+
+	cfg.Seed = 2
+	w3, t3, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range t1.Requests {
+		if t1.Requests[i] != t3.Requests[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+	_ = w3
+}
+
+func TestGenerateWorkloadSkew(t *testing.T) {
+	// The calibrated generator must reproduce the paper's core
+	// measurement: nearest-routing workloads are highly skewed
+	// (99th percentile many times the median — the paper reports 9x).
+	cfg := smallConfig()
+	cfg.NumRequests = 30000 // enough volume for stable quantiles
+	world, tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	index, err := world.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := make([]float64, len(world.Hotspots))
+	for _, req := range tr.Requests {
+		h, _, ok := index.Nearest(req.Location)
+		if !ok {
+			t.Fatal("empty index")
+		}
+		loads[h]++
+	}
+	med := stats.Median(loads)
+	p99 := stats.Quantile(loads, 0.99)
+	if med <= 0 {
+		t.Fatalf("median load %v, want positive", med)
+	}
+	if ratio := p99 / med; ratio < 3 {
+		t.Errorf("p99/median = %v, want >= 3 (paper: 9x)", ratio)
+	}
+}
+
+func TestGenerateSlots(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Slots = 24
+	_, tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]int)
+	for _, r := range tr.Requests {
+		if r.Slot < 0 || r.Slot >= 24 {
+			t.Fatalf("slot %d out of range", r.Slot)
+		}
+		seen[r.Slot]++
+	}
+	if len(seen) < 20 {
+		t.Errorf("only %d distinct slots used, want near 24", len(seen))
+	}
+	// Single-slot traces put everything in slot 0.
+	cfg.Slots = 1
+	_, tr1, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tr1.Requests {
+		if r.Slot != 0 {
+			t.Fatalf("slot %d in single-slot trace", r.Slot)
+		}
+	}
+}
+
+func TestSlotWeightsResampling(t *testing.T) {
+	var p [24]float64
+	for h := range p {
+		p[h] = float64(h)
+	}
+	w24 := slotWeights(p, 24)
+	for h := 0; h < 24; h++ {
+		if w24[h] != float64(h) {
+			t.Fatalf("identity resample broken at %d: %v", h, w24[h])
+		}
+	}
+	w12 := slotWeights(p, 12)
+	if len(w12) != 12 {
+		t.Fatalf("len = %d, want 12", len(w12))
+	}
+	// Each 2-hour slot averages its two hours.
+	if w12[0] != 0.5 || w12[11] != 22.5 {
+		t.Errorf("w12 endpoints = %v, %v; want 0.5, 22.5", w12[0], w12[11])
+	}
+	w1 := slotWeights(p, 1)
+	if len(w1) != 1 || w1[0] != 11.5 {
+		t.Errorf("w1 = %v, want [11.5]", w1)
+	}
+}
+
+func TestRandomizeProfileKeepsPositive(t *testing.T) {
+	rng := stats.SplitRand(1, "profile-test")
+	base := regionResidential.hourProfile()
+	for trial := 0; trial < 50; trial++ {
+		out := randomizeProfile(base, rng)
+		for h, v := range out {
+			if v <= 0 {
+				t.Fatalf("trial %d: hour %d weight %v, want positive", trial, h, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/stats"
+)
+
+// Summary describes a generated (or loaded) world/trace pair with the
+// statistics the paper's measurement study cares about. Build with
+// Summarize.
+type Summary struct {
+	Hotspots      int
+	Videos        int
+	DistinctVideo int
+	Requests      int
+	Slots         int
+	Users         int
+
+	// Nearest-routing workload distribution (paper Fig. 2).
+	MedianLoad float64
+	P99Load    float64
+	LoadGini   float64
+
+	// Rank-frequency Zipf fit of global video popularity.
+	ZipfAlpha float64
+	ZipfR2    float64
+}
+
+// Summarize computes a Summary; the trace is mapped to nearest hotspots
+// with the world's index.
+func Summarize(world *World, tr *Trace) (*Summary, error) {
+	if err := world.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tr.Validate(world); err != nil {
+		return nil, err
+	}
+	index, err := world.Index()
+	if err != nil {
+		return nil, err
+	}
+
+	loads := make([]float64, len(world.Hotspots))
+	videoCounts := make(map[VideoID]float64)
+	users := make(map[UserID]struct{})
+	for _, req := range tr.Requests {
+		h, _, ok := index.Nearest(req.Location)
+		if !ok {
+			return nil, fmt.Errorf("trace: empty hotspot index")
+		}
+		loads[h]++
+		videoCounts[req.Video]++
+		users[req.User] = struct{}{}
+	}
+
+	s := &Summary{
+		Hotspots:      len(world.Hotspots),
+		Videos:        world.NumVideos,
+		DistinctVideo: len(videoCounts),
+		Requests:      len(tr.Requests),
+		Slots:         tr.Slots,
+		Users:         len(users),
+		MedianLoad:    stats.Median(loads),
+		P99Load:       stats.Quantile(loads, 0.99),
+	}
+	if gini, err := stats.Gini(loads); err == nil {
+		s.LoadGini = gini
+	}
+	counts := make([]float64, 0, len(videoCounts))
+	for _, c := range videoCounts {
+		counts = append(counts, c)
+	}
+	if fit, err := stats.FitZipf(counts); err == nil {
+		s.ZipfAlpha = fit.Alpha
+		s.ZipfR2 = fit.R2
+	}
+	return s, nil
+}
+
+// Render writes the summary as aligned text.
+func (s *Summary) Render(w io.Writer) error {
+	skew := 0.0
+	if s.MedianLoad > 0 {
+		skew = s.P99Load / s.MedianLoad
+	}
+	_, err := fmt.Fprintf(w,
+		"hotspots:         %d\n"+
+			"videos:           %d (%d requested)\n"+
+			"requests:         %d over %d slot(s) from %d users\n"+
+			"nearest workload: median %.0f, p99 %.0f (%.1fx), Gini %.2f\n"+
+			"video popularity: Zipf alpha %.2f (log-log R^2 %.2f)\n",
+		s.Hotspots, s.Videos, s.DistinctVideo,
+		s.Requests, s.Slots, s.Users,
+		s.MedianLoad, s.P99Load, skew, s.LoadGini,
+		s.ZipfAlpha, s.ZipfR2)
+	return err
+}

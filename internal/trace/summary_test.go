@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	cfg := smallConfig()
+	cfg.NumRequests = 6000
+	world, tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Summarize(world, tr)
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	if s.Hotspots != cfg.NumHotspots || s.Requests != cfg.NumRequests {
+		t.Errorf("counts wrong: %+v", s)
+	}
+	if s.DistinctVideo <= 0 || s.DistinctVideo > cfg.NumVideos {
+		t.Errorf("distinct videos %d implausible", s.DistinctVideo)
+	}
+	if s.Users <= 0 || s.Users > cfg.NumUsers {
+		t.Errorf("users %d implausible", s.Users)
+	}
+	if s.MedianLoad <= 0 || s.P99Load < s.MedianLoad {
+		t.Errorf("load quantiles implausible: median %v p99 %v", s.MedianLoad, s.P99Load)
+	}
+	if s.LoadGini <= 0 || s.LoadGini >= 1 {
+		t.Errorf("Gini %v implausible for a skewed workload", s.LoadGini)
+	}
+	// The generator draws global popularity from Zipf(1.0); the fitted
+	// exponent should land in a sane band.
+	if s.ZipfAlpha < 0.5 || s.ZipfAlpha > 2 {
+		t.Errorf("fitted Zipf alpha %v far from the configured 1.0", s.ZipfAlpha)
+	}
+
+	var buf bytes.Buffer
+	if err := s.Render(&buf); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	for _, want := range []string{"hotspots:", "nearest workload:", "Zipf alpha"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("Render output missing %q", want)
+		}
+	}
+}
+
+func TestSummarizeInvalidInputs(t *testing.T) {
+	world, tr, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *world
+	bad.NumVideos = 0
+	if _, err := Summarize(&bad, tr); err == nil {
+		t.Error("Summarize(invalid world) succeeded")
+	}
+	badTrace := &Trace{Slots: 0}
+	if _, err := Summarize(world, badTrace); err == nil {
+		t.Error("Summarize(invalid trace) succeeded")
+	}
+}
