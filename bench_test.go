@@ -390,6 +390,75 @@ func BenchmarkRBCAerSchedulingRound(b *testing.B) {
 	}
 }
 
+// BenchmarkSchedule measures one RBCAer scheduling round under
+// different worker counts. The Workers knob parallelises the round's
+// O(m²) loops (over×under distance cache, Jaccard matrix, candidate
+// generation) without changing the plan, so the speedup here is the
+// acceptance test for the parallel hot path.
+func BenchmarkSchedule(b *testing.B) {
+	world, tr, _ := benchData(b)
+	index, err := world.Index()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, err := sim.BuildSlotContext(world, index, 0, tr.Requests, stats.SplitRand(1, "bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=max"
+		}
+		b.Run(name, func(b *testing.B) {
+			params := core.DefaultParams()
+			params.Workers = workers
+			sched, err := core.New(world, params)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sched.Schedule(ctx.Demand); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScheduleSlotsParallel measures a multi-slot replay with the
+// timeslots scheduled sequentially (sim.Run) versus concurrently
+// (sim.RunParallel) — the simulator half of the parallel hot path.
+func BenchmarkScheduleSlotsParallel(b *testing.B) {
+	cfg := trace.EvalConfig()
+	cfg.NumHotspots = 60
+	cfg.NumVideos = 3000
+	cfg.NumUsers = 6000
+	cfg.NumRequests = 48000
+	cfg.NumRegions = 8
+	cfg.Slots = 8
+	world, tr, err := trace.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	newPolicy := func() sim.Scheduler { return scheme.NewRBCAer(core.DefaultParams()) }
+	for _, workers := range []int{1, 0} {
+		name := "sequential"
+		if workers == 0 {
+			name = "concurrent"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.RunParallel(world, tr, newPolicy, workers, sim.Options{Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkSpearman(b *testing.B) {
 	rng := rand.New(rand.NewSource(4))
 	xs := make([]float64, 24)

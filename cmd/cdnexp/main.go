@@ -10,12 +10,15 @@
 //	paper:      fig2 fig3a fig3b fig5 fig6 fig7 fig8 fig9 (or "all")
 //	extensions: ext-hier ext-churn ext-reactive (or "ext")
 //	ablations:  abl-guides abl-theta abl-prediction abl-mcmf abl-cluster
+//	            abl-workers
 //	everything: "everything"
 //
 // Flags:
 //
 //	-seed N     seed (default 1)
 //	-scale F    world scale in (0, 1]; 1 = paper scale (default 1)
+//	-workers N  scheduling parallelism (0 = all cores, 1 = serial;
+//	            results are identical for every value)
 //	-csv DIR    also write each figure's data as CSV into DIR
 package main
 
@@ -39,6 +42,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("cdnexp", flag.ContinueOnError)
 	seed := fs.Int64("seed", 1, "seed")
 	scale := fs.Float64("scale", 1, "world scale in (0, 1]; 1 reproduces paper scale")
+	workers := fs.Int("workers", 0, "scheduling parallelism (0 = all cores, 1 = serial; results identical)")
 	csvDir := fs.String("csv", "", "also write each figure's data as CSV into this directory")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,6 +65,7 @@ func run(args []string) error {
 	}
 
 	runner := crowdcdn.NewExperimentRunner(*seed, *scale)
+	runner.Workers = *workers
 	for _, id := range ids {
 		figs, err := runner.Run(id)
 		if err != nil {

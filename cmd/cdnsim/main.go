@@ -14,6 +14,8 @@
 //	-capacity F -cache F       override capacities as fractions of the
 //	                           video-set size (0 keeps the input)
 //	-seed N                    simulation/generation seed
+//	-workers N                 scheduling parallelism: 0 uses every core,
+//	                           1 forces serial; results are identical
 //	-json                      emit metrics as JSON instead of text
 package main
 
@@ -42,6 +44,7 @@ func run(args []string) error {
 	capFrac := fs.Float64("capacity", 0, "override service capacity as a fraction of the video set")
 	cacheFrac := fs.Float64("cache", 0, "override cache size as a fraction of the video set")
 	seed := fs.Int64("seed", 1, "simulation (and generation) seed")
+	workers := fs.Int("workers", 0, "scheduling parallelism (0 = all cores, 1 = serial; results identical)")
 	churn := fs.Float64("churn", 0, "per-slot probability a hotspot is offline")
 	asJSON := fs.Bool("json", false, "emit metrics as JSON")
 	if err := fs.Parse(args); err != nil {
@@ -54,29 +57,45 @@ func run(args []string) error {
 	}
 	overrideCapacities(world, *capFrac, *cacheFrac)
 
-	var policy crowdcdn.Scheduler
+	// slotIndependent marks policies that carry no state between slots,
+	// so their timeslots may be scheduled concurrently (one policy
+	// instance per worker) without changing the metrics.
+	var newPolicy func() crowdcdn.Scheduler
+	slotIndependent := false
 	switch *schemeName {
 	case "rbcaer":
-		policy = crowdcdn.NewRBCAer(crowdcdn.DefaultParams())
+		params := crowdcdn.DefaultParams()
+		params.Workers = *workers
+		newPolicy = func() crowdcdn.Scheduler { return crowdcdn.NewRBCAer(params) }
+		slotIndependent = true
 	case "nearest":
-		policy = crowdcdn.NewNearest()
+		newPolicy = func() crowdcdn.Scheduler { return crowdcdn.NewNearest() }
+		slotIndependent = true
 	case "random":
-		policy = crowdcdn.NewRandom(*radius)
+		newPolicy = func() crowdcdn.Scheduler { return crowdcdn.NewRandom(*radius) }
+		slotIndependent = true
 	case "lp":
-		policy = crowdcdn.NewLPBased()
+		newPolicy = func() crowdcdn.Scheduler { return crowdcdn.NewLPBased() }
 	case "hier":
-		policy = crowdcdn.NewHierarchical(0)
+		newPolicy = func() crowdcdn.Scheduler { return crowdcdn.NewHierarchical(0) }
 	case "p2c":
-		policy = crowdcdn.NewPowerOfTwo(*radius)
+		newPolicy = func() crowdcdn.Scheduler { return crowdcdn.NewPowerOfTwo(*radius) }
+		slotIndependent = true
 	case "reactive-lru":
-		policy = crowdcdn.NewReactiveLRU()
+		newPolicy = func() crowdcdn.Scheduler { return crowdcdn.NewReactiveLRU() }
 	case "reactive-lfu":
-		policy = crowdcdn.NewReactiveLFU()
+		newPolicy = func() crowdcdn.Scheduler { return crowdcdn.NewReactiveLFU() }
 	default:
 		return fmt.Errorf("unknown scheme %q (want rbcaer, nearest, random, lp, hier, p2c, reactive-lru, or reactive-lfu)", *schemeName)
 	}
 
-	m, err := crowdcdn.Simulate(world, tr, policy, crowdcdn.SimOptions{Seed: *seed, HotspotChurn: *churn})
+	opts := crowdcdn.SimOptions{Seed: *seed, HotspotChurn: *churn}
+	var m *crowdcdn.Metrics
+	if slotIndependent && tr.Slots > 1 {
+		m, err = crowdcdn.SimulateParallel(world, tr, newPolicy, *workers, opts)
+	} else {
+		m, err = crowdcdn.Simulate(world, tr, newPolicy(), opts)
+	}
 	if err != nil {
 		return err
 	}

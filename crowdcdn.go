@@ -169,6 +169,17 @@ func Simulate(world *World, tr *Trace, policy Scheduler, opts SimOptions) (*Metr
 	return sim.Run(world, tr, policy, opts)
 }
 
+// SimulateParallel is Simulate with independent timeslots scheduled
+// concurrently on up to workers goroutines (0 selects
+// runtime.GOMAXPROCS(0); <=1 falls back to Simulate). Each worker
+// schedules with its own policy instance from newPolicy, so the policy
+// must be stateless across slots (RBCAer, Nearest, Random and
+// power-of-two qualify; the reactive and predicted policies do not).
+// Metrics are identical to Simulate's for every worker count.
+func SimulateParallel(world *World, tr *Trace, newPolicy func() Scheduler, workers int, opts SimOptions) (*Metrics, error) {
+	return sim.RunParallel(world, tr, newPolicy, workers, opts)
+}
+
 // NewExperimentRunner returns a harness that regenerates the paper's
 // figures. scale in (0, 1] shrinks the worlds for quick runs; 1 is
 // paper scale.

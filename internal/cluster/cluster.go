@@ -106,7 +106,52 @@ func Agglomerative(n int, dist DistFunc, link Linkage) (*Dendrogram, error) {
 			d[j][i] = v
 		}
 	}
+	return agglomerate(n, d, link)
+}
 
+// AgglomerativeMatrix clusters the n items whose pairwise distances
+// were precomputed into the n×n matrix dist — typically filled in
+// parallel (similarity.DistanceMatrix) so the O(n²) distance
+// evaluations come off the clustering hot path. The matrix must be
+// symmetric with finite, non-negative entries; only the upper triangle
+// is read and dist is left unmodified. The result is identical to
+// Agglomerative over the same distances.
+func AgglomerativeMatrix(dist [][]float64, link Linkage) (*Dendrogram, error) {
+	n := len(dist)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: empty distance matrix")
+	}
+	switch link {
+	case Single, Complete, Average:
+	default:
+		return nil, fmt.Errorf("cluster: unknown linkage %v", link)
+	}
+	if n == 1 {
+		return &Dendrogram{n: 1}, nil
+	}
+	d := make([][]float64, n)
+	for i := range d {
+		if len(dist[i]) != n {
+			return nil, fmt.Errorf("cluster: distance matrix row %d has %d entries, want %d", i, len(dist[i]), n)
+		}
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := dist[i][j]
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return nil, fmt.Errorf("cluster: invalid distance %v between %d and %d", v, i, j)
+			}
+			d[i][j] = v
+			d[j][i] = v
+		}
+	}
+	return agglomerate(n, d, link)
+}
+
+// agglomerate runs the nearest-neighbour-chain algorithm over a
+// symmetric distance matrix it may freely mutate.
+func agglomerate(n int, d [][]float64, link Linkage) (*Dendrogram, error) {
 	active := make([]bool, n)
 	size := make([]int, n)
 	clusterID := make([]int, n) // slot -> current dendrogram cluster id

@@ -3,6 +3,7 @@ package cluster
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 )
 
@@ -249,4 +250,66 @@ func equalIntSlices(a, b []int) bool {
 		}
 	}
 	return true
+}
+
+// TestAgglomerativeMatrixMatchesAgglomerative asserts the precomputed-
+// matrix entry point is a drop-in: same distances, same dendrogram,
+// for every linkage — and that the caller's matrix is not mutated.
+func TestAgglomerativeMatrixMatchesAgglomerative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 20
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := rng.Float64()
+			m[i][j] = v
+			m[j][i] = v
+		}
+	}
+	orig := make([][]float64, n)
+	for i := range m {
+		orig[i] = append([]float64(nil), m[i]...)
+	}
+
+	for _, link := range []Linkage{Single, Complete, Average} {
+		want, err := Agglomerative(n, matrixDist(m), link)
+		if err != nil {
+			t.Fatalf("%v: Agglomerative: %v", link, err)
+		}
+		got, err := AgglomerativeMatrix(m, link)
+		if err != nil {
+			t.Fatalf("%v: AgglomerativeMatrix: %v", link, err)
+		}
+		if !reflect.DeepEqual(want.Merges(), got.Merges()) {
+			t.Errorf("%v: dendrograms differ:\n%+v\nvs\n%+v", link, want.Merges(), got.Merges())
+		}
+	}
+	if !reflect.DeepEqual(m, orig) {
+		t.Error("AgglomerativeMatrix mutated the caller's matrix")
+	}
+}
+
+func TestAgglomerativeMatrixErrors(t *testing.T) {
+	if _, err := AgglomerativeMatrix(nil, Complete); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	if _, err := AgglomerativeMatrix([][]float64{{0, 1}, {1}}, Complete); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if _, err := AgglomerativeMatrix([][]float64{{0, -1}, {-1, 0}}, Complete); err == nil {
+		t.Error("negative distance accepted")
+	}
+	if _, err := AgglomerativeMatrix([][]float64{{0, math.NaN()}, {math.NaN(), 0}}, Complete); err == nil {
+		t.Error("NaN distance accepted")
+	}
+	if _, err := AgglomerativeMatrix([][]float64{{0, 1}, {1, 0}}, Linkage(9)); err == nil {
+		t.Error("bad linkage accepted")
+	}
+	d, err := AgglomerativeMatrix([][]float64{{0}}, Complete)
+	if err != nil || d.NumLeaves() != 1 {
+		t.Errorf("single-item matrix: %v, %v", d, err)
+	}
 }

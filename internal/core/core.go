@@ -97,6 +97,15 @@ type Params struct {
 	// SingleShotTheta replaces the θ sweep with one round at Theta2
 	// (ablation: value of the incremental schedule).
 	SingleShotTheta bool
+
+	// Workers bounds the parallelism of one scheduling round: the
+	// over×under pairwise-distance cache, the Jaccard distance matrix
+	// fed to clustering, and candidate-pair generation in the flow
+	// network all fan out over this many goroutines. 0 (the zero
+	// value) selects runtime.GOMAXPROCS(0); 1 forces the serial path.
+	// The fan-out uses fixed work partitions writing into disjoint
+	// preallocated ranges, so plans are identical for every value.
+	Workers int
 }
 
 // DefaultParams returns the paper's evaluation parameters:
@@ -150,6 +159,9 @@ func (p Params) Validate() error {
 	}
 	if p.FillOverprovision < 0 {
 		return fmt.Errorf("core: negative FillOverprovision %v", p.FillOverprovision)
+	}
+	if p.Workers < 0 {
+		return fmt.Errorf("core: negative Workers %d", p.Workers)
 	}
 	return nil
 }
@@ -245,14 +257,25 @@ type Stats struct {
 	Underutilized int
 	// Clusters is the number of content clusters.
 	Clusters int
-	// GuideNodes is the number of flow-guide nodes inserted across all
-	// θ iterations.
+	// GuideNodes is the total number of flow-guide nodes inserted,
+	// accumulated across every θ iteration of the sweep (the residual
+	// Gd pass never inserts guides).
 	GuideNodes int
-	// DirectEdges is the number of <i,j> candidate pairs in the final
-	// θ graph.
+	// DirectEdges is the total number of <i,j> candidate pairs
+	// enumerated, accumulated across every θ iteration of the sweep
+	// like GuideNodes (each iteration re-enumerates the pairs its θ
+	// admits, so a pair within θ1 contributes once per iteration).
+	// The residual Gd pass is not counted. For the per-θ pair count of
+	// a single graph, see ThetaAnalysis.DirectEdges.
 	DirectEdges int
 	// Iterations is the number of θ rounds executed.
 	Iterations int
+	// DistanceCalcs is the number of pairwise geo-distance evaluations
+	// the round performed. The over×under distances are computed once
+	// into a per-round cache and reused by every θ iteration and the
+	// residual Gd pass, so this is |Hs|·|Ht| — independent of the
+	// number of θ iterations.
+	DistanceCalcs int64
 	// Replicas is the total number of video placements produced.
 	Replicas int64
 }

@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cluster"
 	"repro/internal/mcmf"
+	"repro/internal/par"
 	"repro/internal/similarity"
 )
 
@@ -35,14 +37,69 @@ type flowNet struct {
 	guideNodes  int
 }
 
+// distCache holds the over×under pairwise geo distances of one
+// scheduling round. Schedule computes it once and reuses it across
+// every θ iteration of the sweep and the residual Gd pass, so the
+// number of DistanceTo evaluations per round is |Hs|·|Ht| regardless
+// of how many θ rounds run.
+type distCache struct {
+	nu int       // len(under)
+	d  []float64 // d[oi*nu+uj] = distance(over[oi], under[uj])
+}
+
+// newDistCache computes the over×under distance matrix, fanning the
+// rows out over workers goroutines (each row is written by exactly one
+// worker, so the cache is identical for every worker count).
+func (s *Scheduler) newDistCache(over, under []int, workers int) *distCache {
+	nu := len(under)
+	dc := &distCache{nu: nu, d: make([]float64, len(over)*nu)}
+	locs := s.locs
+	par.Chunks(len(over), workers, func(lo, hi int) {
+		for oi := lo; oi < hi; oi++ {
+			pi := locs[over[oi]]
+			row := dc.d[oi*nu : (oi+1)*nu]
+			for uj, j := range under {
+				row[uj] = pi.DistanceTo(locs[j])
+			}
+		}
+	})
+	return dc
+}
+
+// at returns the cached distance between over[oi] and under[uj].
+func (c *distCache) at(oi, uj int) float64 { return c.d[oi*c.nu+uj] }
+
+// calcs is the number of distance evaluations the cache performed.
+func (c *distCache) calcs() int64 {
+	if c.nu == 0 {
+		return 0
+	}
+	return int64(len(c.d)/c.nu) * int64(c.nu)
+}
+
+// cand is one admissible <i, j> pair: overloaded source i, the pair
+// capacity φ_ij = min(φ_i, φ_j), and d_ij.
+type cand struct {
+	i      int
+	phiIJ  int64
+	distIJ float64
+}
+
 // buildNetwork constructs the θ-bounded balancing network over the
 // hotspots with remaining surplus (over, phiOver) and remaining slack
-// (under, phiUnder). When useGuides is true, flow-guide nodes implement
-// the content-aggregation rewrite of Sec. IV-B (turning Gd into Gc).
+// (under, phiUnder), reading pair distances from dc. When useGuides is
+// true, flow-guide nodes implement the content-aggregation rewrite of
+// Sec. IV-B (turning Gd into Gc).
+//
+// Construction is deterministic: targets are visited in ascending
+// hotspot order (under is sorted by construction) and clusters in
+// ascending cluster id, so identical inputs yield an identical graph —
+// and therefore an identical min-cost flow — on every run.
 func (s *Scheduler) buildNetwork(
 	theta float64,
 	over, under []int,
 	phiOver, phiUnder []int64,
+	dc *distCache,
 	clusterOf []int,
 	useGuides bool,
 ) *flowNet {
@@ -52,36 +109,40 @@ func (s *Scheduler) buildNetwork(
 		sink   = 1
 	)
 	nodeOf := make(map[int]int) // hotspot -> graph node
-	locs := s.locs
 
 	nb := &flowNet{g: g, source: source, sink: sink}
 
 	// Candidate pairs within θ, grouped by under-utilised target.
-	type cand struct {
-		i      int
-		phiIJ  int64
-		distIJ float64
-	}
-	candsByTarget := make(map[int][]cand)
-	for _, j := range under {
-		if phiUnder[j] <= 0 {
-			continue
-		}
-		for _, i := range over {
-			if phiOver[i] <= 0 {
+	// candsOf is indexed alongside under; the O(|Hs|·|Ht|) enumeration
+	// is the per-iteration hot loop, so targets fan out over the
+	// round's workers — each writes only its own candsOf rows.
+	candsOf := make([][]cand, len(under))
+	par.Chunks(len(under), par.Workers(s.params.Workers), func(lo, hi int) {
+		for uj := lo; uj < hi; uj++ {
+			j := under[uj]
+			if phiUnder[j] <= 0 {
 				continue
 			}
-			d := locs[i].DistanceTo(locs[j])
-			if d >= theta {
-				continue
+			var cands []cand
+			for oi, i := range over {
+				if phiOver[i] <= 0 {
+					continue
+				}
+				d := dc.at(oi, uj)
+				if d >= theta {
+					continue
+				}
+				phiIJ := phiOver[i]
+				if phiUnder[j] < phiIJ {
+					phiIJ = phiUnder[j]
+				}
+				cands = append(cands, cand{i: i, phiIJ: phiIJ, distIJ: d})
 			}
-			phiIJ := phiOver[i]
-			if phiUnder[j] < phiIJ {
-				phiIJ = phiUnder[j]
-			}
-			candsByTarget[j] = append(candsByTarget[j], cand{i: i, phiIJ: phiIJ, distIJ: d})
-			nb.directPairs++
+			candsOf[uj] = cands
 		}
+	})
+	for _, cands := range candsOf {
+		nb.directPairs += len(cands)
 	}
 
 	ensureNode := func(h int) int {
@@ -105,14 +166,21 @@ func (s *Scheduler) buildNetwork(
 		return id
 	}
 
-	for j, cands := range candsByTarget {
+	for uj, cands := range candsOf {
+		if len(cands) == 0 {
+			continue
+		}
+		j := under[uj]
 		nj := ensureNode(j)
 		if !sinkArc[j] {
 			mustEdge(nj, sink, phiUnder[j], 0)
 			sinkArc[j] = true
 		}
 
-		// Partition candidates by the source hotspot's content cluster.
+		// Partition candidates by the source hotspot's content cluster,
+		// visiting clusters in ascending id so edge insertion — and
+		// hence the solver's path choices on cost ties — is
+		// deterministic.
 		byCluster := make(map[int][]cand)
 		if useGuides {
 			for _, c := range cands {
@@ -122,8 +190,14 @@ func (s *Scheduler) buildNetwork(
 		} else {
 			byCluster[-1] = cands
 		}
+		clusterKeys := make([]int, 0, len(byCluster))
+		for k := range byCluster {
+			clusterKeys = append(clusterKeys, k)
+		}
+		sort.Ints(clusterKeys)
 
-		for k, group := range byCluster {
+		for _, k := range clusterKeys {
+			group := byCluster[k]
 			var sumPhi int64
 			var sumDist float64
 			for _, c := range group {
@@ -198,8 +272,11 @@ func (s *Scheduler) contentClusters(d *Demand) ([]int, int, error) {
 		}
 		sets[h] = set
 	}
-	dist := func(i, j int) float64 { return similarity.JaccardDistance(sets[i], sets[j]) }
-	dendro, err := cluster.Agglomerative(m, dist, s.params.Linkage)
+	// The O(m²) Jaccard matrix dominates clustering on large fleets;
+	// compute it in parallel and hand the finished matrix to the
+	// (inherently sequential) nearest-neighbour-chain algorithm.
+	dist := similarity.DistanceMatrix(sets, par.Workers(s.params.Workers))
+	dendro, err := cluster.AgglomerativeMatrix(dist, s.params.Linkage)
 	if err != nil {
 		return nil, 0, fmt.Errorf("core: clustering hotspots: %w", err)
 	}
@@ -241,7 +318,8 @@ func (s *Scheduler) AnalyzeTheta(d *Demand, theta float64) (ThetaAnalysis, error
 		return ThetaAnalysis{}, fmt.Errorf("core: negative theta %v", theta)
 	}
 	over, under, phiOver, phiUnder := s.partition(d, s.worldCapacities())
-	nb := s.buildNetwork(theta, over, under, phiOver, phiUnder, nil, false)
+	dc := s.newDistCache(over, under, par.Workers(s.params.Workers))
+	nb := s.buildNetwork(theta, over, under, phiOver, phiUnder, dc, nil, false)
 	res, err := nb.g.Solve(nb.source, nb.sink, int64(1)<<62, s.params.Algorithm)
 	if err != nil {
 		return ThetaAnalysis{}, fmt.Errorf("core: solving Gd(θ=%v): %w", theta, err)

@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/geo"
+	"repro/internal/par"
 	"repro/internal/trace"
 )
 
@@ -106,16 +108,21 @@ func (s *Scheduler) ScheduleWithCapacities(d *Demand, svc []int64) (*Plan, error
 	flows := make(map[int64]int64)
 	var moved int64
 
+	// The over×under distances are fixed for the whole round: compute
+	// them once and share the cache across every θ iteration and the
+	// residual Gd pass.
+	dcache := s.newDistCache(over, under, par.Workers(s.params.Workers))
+	stats.DistanceCalcs = dcache.calcs()
+
 	// θ sweep over the content-aggregation network Gc (Algorithm 1,
-	// lines 5-10).
-	theta := s.params.Theta1
-	if s.params.SingleShotTheta {
-		theta = s.params.Theta2
-	}
-	const thetaEps = 1e-9
-	for theta <= s.params.Theta2+thetaEps && moved < stats.MaxFlow {
-		nb := s.buildNetwork(theta, over, under, phiOver, phiUnder, clusterOf, !s.params.DisableGuides)
-		stats.DirectEdges = nb.directPairs
+	// lines 5-10). The sweep is driven by integer step index so float
+	// accumulation cannot skip or double the final θ2 round.
+	for _, theta := range sweepThetas(s.params) {
+		if moved >= stats.MaxFlow {
+			break
+		}
+		nb := s.buildNetwork(theta, over, under, phiOver, phiUnder, dcache, clusterOf, !s.params.DisableGuides)
+		stats.DirectEdges += nb.directPairs
 		stats.GuideNodes += nb.guideNodes
 		if len(nb.edges) > 0 {
 			res, err := nb.g.Solve(nb.source, nb.sink, stats.MaxFlow-moved, s.params.Algorithm)
@@ -129,16 +136,12 @@ func (s *Scheduler) ScheduleWithCapacities(d *Demand, svc []int64) (*Plan, error
 			moved += res.Flow
 		}
 		stats.Iterations++
-		if s.params.SingleShotTheta {
-			break
-		}
-		theta += s.params.DeltaD
 	}
 
 	// Residual pass on the plain balancing network Gd (Algorithm 1,
 	// lines 11-13): move whatever the guided rounds left behind.
 	if moved < stats.MaxFlow {
-		nb := s.buildNetwork(s.params.Theta2, over, under, phiOver, phiUnder, nil, false)
+		nb := s.buildNetwork(s.params.Theta2, over, under, phiOver, phiUnder, dcache, nil, false)
 		if len(nb.edges) > 0 {
 			res, err := nb.g.Solve(nb.source, nb.sink, stats.MaxFlow-moved, s.params.Algorithm)
 			if err != nil {
@@ -190,6 +193,37 @@ func (s *Scheduler) ScheduleWithCapacities(d *Demand, svc []int64) (*Plan, error
 		Stats:         stats,
 	}
 	return plan, nil
+}
+
+// sweepThetas returns the θ values Algorithm 1's sweep visits:
+// Theta1 + k·DeltaD for k = 0..K with K = ⌊(Theta2-Theta1)/DeltaD⌋
+// (computed with a small tolerance so an exactly divisible range
+// includes Theta2). Each θ is derived from the step index by one
+// multiplication — never by accumulating DeltaD — so rounding error
+// stays at one ulp per value instead of growing with the iteration
+// count, which previously could skip (or, below θ2, double) the final
+// θ2 round on long sweeps. Values are clamped to Theta2 so the last
+// round is bounded by exactly the configured threshold.
+func sweepThetas(p Params) []float64 {
+	if p.SingleShotTheta {
+		return []float64{p.Theta2}
+	}
+	span := p.Theta2 - p.Theta1
+	// Relative tolerance: treat Theta1 + K·DeltaD as reaching Theta2
+	// when it falls short by under half an ulp-scale of the division.
+	k := int(math.Floor(span/p.DeltaD + 1e-9))
+	if k < 0 {
+		k = 0
+	}
+	out := make([]float64, k+1)
+	for i := 0; i <= k; i++ {
+		th := p.Theta1 + float64(i)*p.DeltaD
+		if th > p.Theta2 {
+			th = p.Theta2
+		}
+		out[i] = th
+	}
+	return out
 }
 
 // extractFlows reads attributed edge flows out of a solved network,

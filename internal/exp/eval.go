@@ -3,7 +3,6 @@ package exp
 import (
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/scheme"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -80,9 +79,9 @@ var evalMetricFigures = []struct {
 }
 
 // evalPolicies builds the three compared policies.
-func evalPolicies() []sim.Scheduler {
+func (r *Runner) evalPolicies() []sim.Scheduler {
 	return []sim.Scheduler{
-		scheme.NewRBCAer(core.DefaultParams()),
+		scheme.NewRBCAer(r.coreParams()),
 		scheme.Nearest{},
 		scheme.Random{RadiusKm: 1.5},
 	}
@@ -98,7 +97,7 @@ func (r *Runner) sweep(idPrefix, sweepName, xLabel string, xs []float64,
 		return nil, err
 	}
 
-	policies := evalPolicies()
+	policies := r.evalPolicies()
 	// results[policy][metric] aligned with xs.
 	results := make([][][]float64, len(policies))
 	for p := range results {

@@ -13,6 +13,8 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/core"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -139,11 +141,39 @@ func writeAligned(w io.Writer, rows [][]string) error {
 type Runner struct {
 	Seed  int64
 	Scale float64
+	// Workers bounds the experiments' scheduling parallelism: it is
+	// forwarded to core.Params.Workers for every RBCAer instance, and
+	// per-slot-independent policies on multi-slot traces schedule their
+	// timeslots concurrently on this many goroutines (sim.RunParallel).
+	// 0 selects runtime.GOMAXPROCS(0); 1 forces serial runs. Results
+	// are identical for every value.
+	Workers int
 
 	evalWorld *trace.World
 	evalTrace *trace.Trace
 	measWorld *trace.World
 	measTrace *trace.Trace
+}
+
+// coreParams returns the paper's default RBCAer parameters with the
+// runner's parallelism applied.
+func (r *Runner) coreParams() core.Params {
+	p := core.DefaultParams()
+	p.Workers = r.Workers
+	return p
+}
+
+// runPolicy replays the trace under one policy instance from the
+// factory. Per-slot-independent policies on multi-slot traces schedule
+// their timeslots concurrently on the runner's workers (each worker
+// gets its own instance); stateful policies must pass
+// slotIndependent=false to keep the sequential slot order they depend
+// on. Either path yields identical metrics for such policies.
+func (r *Runner) runPolicy(world *trace.World, tr *trace.Trace, newPolicy func() sim.Scheduler, slotIndependent bool, opts sim.Options) (*sim.Metrics, error) {
+	if slotIndependent && tr.Slots > 1 {
+		return sim.RunParallel(world, tr, newPolicy, r.Workers, opts)
+	}
+	return sim.Run(world, tr, newPolicy(), opts)
 }
 
 // evalData generates (once) and returns the Sec. V world and trace.

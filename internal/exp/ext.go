@@ -22,6 +22,7 @@ func ExtensionExperiments() []string {
 	return []string{
 		"ext-hier", "ext-churn", "ext-reactive",
 		"abl-guides", "abl-theta", "abl-prediction", "abl-mcmf", "abl-cluster",
+		"abl-workers",
 	}
 }
 
@@ -63,6 +64,9 @@ func (r *Runner) runExtension(id string) ([]*Figure, error) {
 	case "abl-prediction":
 		f, err := r.AblatePrediction()
 		return wrap(f, err)
+	case "abl-workers":
+		f, err := r.AblWorkers()
+		return wrap(f, err)
 	default:
 		return nil, fmt.Errorf("exp: unknown extension experiment %q", id)
 	}
@@ -95,7 +99,7 @@ func (r *Runner) ExtHierarchical() (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		flat, err := sim.Run(world, tr, scheme.NewRBCAer(core.DefaultParams()), sim.Options{Seed: r.Seed})
+		flat, err := sim.Run(world, tr, scheme.NewRBCAer(r.coreParams()), sim.Options{Seed: r.Seed})
 		if err != nil {
 			return nil, fmt.Errorf("exp: ext-hier flat at %dx: %w", mult, err)
 		}
@@ -131,7 +135,7 @@ func (r *Runner) ExtChurn() (*Figure, error) {
 	churns := []float64{0, 0.05, 0.1, 0.2, 0.4}
 	policies := func() []sim.Scheduler {
 		return []sim.Scheduler{
-			scheme.NewRBCAer(core.DefaultParams()),
+			scheme.NewRBCAer(r.coreParams()),
 			scheme.Nearest{},
 			scheme.Random{RadiusKm: 1.5},
 		}
@@ -180,12 +184,18 @@ func (r *Runner) ExtReactive() (*Figure, error) {
 	if err != nil {
 		return nil, err
 	}
-	policies := []sim.Scheduler{
-		scheme.NewRBCAer(core.DefaultParams()),
-		scheme.Nearest{},
-		scheme.PowerOfTwo{RadiusKm: 1.5},
-		scheme.NewReactiveLRU(),
-		scheme.NewReactiveLFU(),
+	// Proactive policies are per-slot independent and schedule their 24
+	// slots concurrently; the reactive caches carry state across slots
+	// and must replay sequentially.
+	policies := []struct {
+		independent bool
+		make        func() sim.Scheduler
+	}{
+		{true, func() sim.Scheduler { return scheme.NewRBCAer(r.coreParams()) }},
+		{true, func() sim.Scheduler { return scheme.Nearest{} }},
+		{true, func() sim.Scheduler { return scheme.PowerOfTwo{RadiusKm: 1.5} }},
+		{false, func() sim.Scheduler { return scheme.NewReactiveLRU() }},
+		{false, func() sim.Scheduler { return scheme.NewReactiveLFU() }},
 	}
 	fig := &Figure{
 		ID:     "ext-reactive",
@@ -194,9 +204,9 @@ func (r *Runner) ExtReactive() (*Figure, error) {
 		YLabel: "value",
 	}
 	for _, policy := range policies {
-		m, err := sim.Run(world, tr, policy, sim.Options{Seed: r.Seed})
+		m, err := r.runPolicy(world, tr, policy.make, policy.independent, sim.Options{Seed: r.Seed})
 		if err != nil {
-			return nil, fmt.Errorf("exp: ext-reactive %s: %w", policy.Name(), err)
+			return nil, fmt.Errorf("exp: ext-reactive %s: %w", policy.make().Name(), err)
 		}
 		fig.AddSeries(m.Scheme,
 			[]float64{0, 1, 2},
@@ -228,7 +238,7 @@ func (r *Runner) ablate(id, what string, variants []ablVariant) ([]*Figure, erro
 		YLabel: "value",
 	}
 	for _, v := range variants {
-		params := core.DefaultParams()
+		params := r.coreParams()
 		v.mut(&params)
 		m, err := sim.Run(world, tr, scheme.NewRBCAer(params), sim.Options{Seed: r.Seed})
 		if err != nil {
@@ -262,17 +272,28 @@ func (r *Runner) AblatePrediction() (*Figure, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Only the oracle is per-slot independent; every predictor learns
+	// from earlier slots and must observe them in order.
 	variants := []struct {
-		name   string
-		policy sim.Scheduler
+		name        string
+		independent bool
+		policy      func() sim.Scheduler
 	}{
-		{"oracle", scheme.NewRBCAer(core.DefaultParams())},
-		{"factored(seasonal)", scheme.NewFactoredPredicted(scheme.NewRBCAer(core.DefaultParams()))},
-		{"factored+overprov(4x)", scheme.NewFactoredPredicted(scheme.NewRBCAer(overprovisionParams(4)))},
-		{"seasonal(24)", &scheme.Predicted{Inner: scheme.NewRBCAer(core.DefaultParams()), Method: predict.Seasonal{Period: 24}}},
-		{"ewma(0.5)", &scheme.Predicted{Inner: scheme.NewRBCAer(core.DefaultParams()), Method: predict.EWMA{Alpha: 0.5}}},
-		{"ar(2)", &scheme.Predicted{Inner: scheme.NewRBCAer(core.DefaultParams()), Method: predict.AR{Order: 2}}},
-		{"last-value", &scheme.Predicted{Inner: scheme.NewRBCAer(core.DefaultParams()), Method: predict.LastValue{}}},
+		{"oracle", true, func() sim.Scheduler { return scheme.NewRBCAer(r.coreParams()) }},
+		{"factored(seasonal)", false, func() sim.Scheduler { return scheme.NewFactoredPredicted(scheme.NewRBCAer(r.coreParams())) }},
+		{"factored+overprov(4x)", false, func() sim.Scheduler { return scheme.NewFactoredPredicted(scheme.NewRBCAer(overprovisionParams(r.coreParams(), 4))) }},
+		{"seasonal(24)", false, func() sim.Scheduler {
+			return &scheme.Predicted{Inner: scheme.NewRBCAer(r.coreParams()), Method: predict.Seasonal{Period: 24}}
+		}},
+		{"ewma(0.5)", false, func() sim.Scheduler {
+			return &scheme.Predicted{Inner: scheme.NewRBCAer(r.coreParams()), Method: predict.EWMA{Alpha: 0.5}}
+		}},
+		{"ar(2)", false, func() sim.Scheduler {
+			return &scheme.Predicted{Inner: scheme.NewRBCAer(r.coreParams()), Method: predict.AR{Order: 2}}
+		}},
+		{"last-value", false, func() sim.Scheduler {
+			return &scheme.Predicted{Inner: scheme.NewRBCAer(r.coreParams()), Method: predict.LastValue{}}
+		}},
 	}
 	fig := &Figure{
 		ID:     "abl-prediction",
@@ -281,7 +302,7 @@ func (r *Runner) AblatePrediction() (*Figure, error) {
 		YLabel: "value",
 	}
 	for _, v := range variants {
-		m, err := sim.Run(world, tr, v.policy, sim.Options{Seed: r.Seed})
+		m, err := r.runPolicy(world, tr, v.policy, v.independent, sim.Options{Seed: r.Seed})
 		if err != nil {
 			return nil, fmt.Errorf("exp: abl-prediction %s: %w", v.name, err)
 		}
@@ -295,10 +316,9 @@ func (r *Runner) AblatePrediction() (*Figure, error) {
 	return fig, nil
 }
 
-// overprovisionParams returns RBCAer defaults with the cache-fill
+// overprovisionParams returns the base parameters with the cache-fill
 // budget scaled by mult.
-func overprovisionParams(mult float64) core.Params {
-	p := core.DefaultParams()
-	p.FillOverprovision = mult
-	return p
+func overprovisionParams(base core.Params, mult float64) core.Params {
+	base.FillOverprovision = mult
+	return base
 }

@@ -3,11 +3,14 @@ package exp
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/scheme"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Fig8 reproduces the running-time comparison (paper Fig. 8): total
@@ -40,7 +43,7 @@ func (r *Runner) Fig8() (*Figure, error) {
 		})
 	}
 	entries = append(entries,
-		entry{label: "RBCAer", policy: scheme.NewRBCAer(core.DefaultParams())},
+		entry{label: "RBCAer", policy: scheme.NewRBCAer(r.coreParams())},
 		entry{label: "Random(1.5km)", policy: scheme.Random{RadiusKm: 1.5}},
 		entry{label: "Nearest", policy: scheme.Nearest{}},
 	)
@@ -76,6 +79,84 @@ func (r *Runner) Fig8() (*Figure, error) {
 	return fig, nil
 }
 
+// AblWorkers quantifies the scheduling-parallelism knob: one RBCAer
+// round on the evaluation workload with the serial path versus the
+// full worker pool (intra-round parallelism: distance cache, Jaccard
+// matrix, candidate generation), and a multi-slot replay comparing
+// sequential slot scheduling against concurrent slots
+// (sim.RunParallel). Plans and metrics are identical across worker
+// counts by construction; the figure reports only time.
+func (r *Runner) AblWorkers() (*Figure, error) {
+	world, tr, err := r.evalData()
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "abl-workers",
+		Title:  "Scheduling-time ablation: Workers knob (serial vs parallel)",
+		XLabel: "workers",
+		YLabel: "seconds",
+	}
+
+	full := par.Workers(0)
+	var baseline *sim.Metrics
+	var xs, ys []float64
+	for _, w := range []int{1, full} {
+		p := core.DefaultParams()
+		p.Workers = w
+		m, err := sim.Run(world, tr, scheme.NewRBCAer(p), sim.Options{Seed: r.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("exp: abl-workers at %d workers: %w", w, err)
+		}
+		xs = append(xs, float64(w))
+		ys = append(ys, m.SchedulingTime.Seconds())
+		fig.Note("round: workers=%d schedules in %v (serving %.3f)", w, m.SchedulingTime, m.HotspotServingRatio)
+		if baseline == nil {
+			baseline = m
+		} else if m.HotspotServingRatio != baseline.HotspotServingRatio ||
+			m.ReplicationCost != baseline.ReplicationCost {
+			return nil, fmt.Errorf("exp: abl-workers metrics diverged between worker counts")
+		}
+	}
+	fig.AddSeries("round-time(s)", xs, ys)
+	if ys[1] > 0 {
+		fig.Note("round: %d workers run %.2fx the serial speed", full, ys[0]/ys[1])
+	}
+
+	// Slot-level parallelism on a multi-slot replay of the same
+	// configuration (per-slot demand shrinks with the slot count, so
+	// absolute times are smaller; the comparison is serial vs parallel
+	// wall clock over identical work).
+	cfg := r.evalConfig()
+	cfg.Slots = 8
+	mw, mtr, err := trace.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	newPolicy := func() sim.Scheduler { return scheme.NewRBCAer(r.coreParams()) }
+	start := time.Now()
+	serial, err := sim.Run(mw, mtr, newPolicy(), sim.Options{Seed: r.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("exp: abl-workers sequential slots: %w", err)
+	}
+	serialWall := time.Since(start)
+	start = time.Now()
+	parallel, err := sim.RunParallel(mw, mtr, newPolicy, full, sim.Options{Seed: r.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("exp: abl-workers concurrent slots: %w", err)
+	}
+	parallelWall := time.Since(start)
+	if parallel.HotspotServingRatio != serial.HotspotServingRatio ||
+		parallel.Replicas != serial.Replicas {
+		return nil, fmt.Errorf("exp: abl-workers slot metrics diverged between Run and RunParallel")
+	}
+	fig.AddSeries("slots-wall(s)", []float64{1, float64(full)},
+		[]float64{serialWall.Seconds(), parallelWall.Seconds()})
+	fig.Note("8 slots: sequential %.3fs vs %d-way concurrent %.3fs wall clock, identical metrics",
+		serialWall.Seconds(), full, parallelWall.Seconds())
+	return fig, nil
+}
+
 // Fig9 reproduces the θ influence analysis (paper Fig. 9): as the edge
 // threshold θ grows, the fraction of the |V|^2 possible edges kept in
 // Gd and the fraction of the movable workload (maxflow) those edges
@@ -93,7 +174,7 @@ func (r *Runner) Fig9() (*Figure, error) {
 	if err != nil {
 		return nil, err
 	}
-	sched, err := core.New(world, core.DefaultParams())
+	sched, err := core.New(world, r.coreParams())
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,82 @@
+// Package par provides the minimal fan-out helpers used by the
+// scheduler's O(n²) hot loops. The partitions are fixed functions of
+// (n, workers) — no channels, no work stealing, no locks — so every
+// index is processed exactly once by exactly one goroutine and results
+// written into preallocated, disjoint slice ranges are bit-identical to
+// the serial path regardless of the worker count.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a requested worker count: values > 0 are returned
+// as-is, anything else (the zero value of a knob) selects
+// runtime.GOMAXPROCS(0).
+func Workers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Chunks partitions [0, n) into at most workers contiguous ranges and
+// invokes fn(lo, hi) for each, concurrently when workers > 1. fn must
+// only write state disjoint across ranges (e.g. out[lo:hi]).
+func Chunks(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Strided assigns index i to goroutine i%workers and invokes fn(i) for
+// every i in [0, n), concurrently when workers > 1. Use it when the
+// per-index cost varies systematically with i (e.g. triangular matrix
+// rows), where contiguous chunks would load-balance badly.
+func Strided(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				fn(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

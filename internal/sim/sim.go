@@ -12,10 +12,12 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/geo"
+	"repro/internal/par"
 	"repro/internal/similarity"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -175,19 +177,10 @@ func (o Options) Validate() error {
 // Run replays the trace against the world under the policy and returns
 // aggregate metrics.
 func Run(world *trace.World, tr *trace.Trace, policy Scheduler, opts Options) (*Metrics, error) {
-	if world == nil || tr == nil {
-		return nil, fmt.Errorf("sim: nil world or trace")
-	}
 	if policy == nil {
 		return nil, fmt.Errorf("sim: nil policy")
 	}
-	if err := world.Validate(); err != nil {
-		return nil, fmt.Errorf("sim: invalid world: %w", err)
-	}
-	if err := tr.Validate(world); err != nil {
-		return nil, fmt.Errorf("sim: invalid trace: %w", err)
-	}
-	if err := opts.Validate(); err != nil {
+	if err := validateRun(world, tr, opts); err != nil {
 		return nil, err
 	}
 	index, err := world.Index()
@@ -196,9 +189,165 @@ func Run(world *trace.World, tr *trace.Trace, policy Scheduler, opts Options) (*
 	}
 	churnRng := stats.SplitRand(opts.Seed, "hotspot-churn")
 
+	metrics := newRunMetrics(world, tr, policy.Name(), opts)
+	var distanceSum float64
+	prevPlacement := make([]similarity.Set, len(world.Hotspots))
+
+	for slot, requests := range tr.BySlot() {
+		if len(requests) == 0 {
+			continue
+		}
+		w := &slotWork{slot: slot, requests: requests}
+		if opts.HotspotChurn > 0 {
+			drawOffline(world, churnRng, opts, metrics, w)
+		}
+		if !w.allOffline {
+			if err := scheduleSlot(world, index, policy, opts, w); err != nil {
+				return nil, err
+			}
+		}
+		metrics.SchedulingTime += w.took
+		if err := applySlot(world, opts, metrics, w, prevPlacement, &distanceSum); err != nil {
+			return nil, err
+		}
+		if w.asg != nil {
+			prevPlacement = w.asg.Placement
+		}
+	}
+	finalizeMetrics(world, metrics, distanceSum)
+	return metrics, nil
+}
+
+// RunParallel is Run with the per-slot scheduling rounds — the
+// simulation's dominant cost — executed concurrently on up to workers
+// goroutines (0 selects GOMAXPROCS; 1 falls back to Run). Each worker
+// schedules with its own policy instance from newPolicy, so policies
+// need not be safe for concurrent use, and everything order-sensitive
+// (churn draws, replica accounting against the previous slot's
+// placement, request serving, metric accumulation) still runs
+// sequentially in slot order. The metrics are therefore identical to
+// Run's — including float accumulation order — whenever each policy
+// instance's decisions depend only on the slot it is handed. Policies
+// that carry state across slots (demand predictors, reactive caches)
+// would observe slots out of order; run those through Run instead.
+func RunParallel(world *trace.World, tr *trace.Trace, newPolicy func() Scheduler, workers int, opts Options) (*Metrics, error) {
+	if newPolicy == nil {
+		return nil, fmt.Errorf("sim: nil policy factory")
+	}
+	first := newPolicy()
+	if first == nil {
+		return nil, fmt.Errorf("sim: policy factory returned nil")
+	}
+	workers = par.Workers(workers)
+	if workers <= 1 {
+		return Run(world, tr, first, opts)
+	}
+	if err := validateRun(world, tr, opts); err != nil {
+		return nil, err
+	}
+	index, err := world.Index()
+	if err != nil {
+		return nil, err
+	}
+	churnRng := stats.SplitRand(opts.Seed, "hotspot-churn")
+	metrics := newRunMetrics(world, tr, first.Name(), opts)
+
+	// Sequential prologue: collect the non-empty slots and draw their
+	// churn in slot order, so the churn stream matches Run's exactly.
+	var work []*slotWork
+	for slot, requests := range tr.BySlot() {
+		if len(requests) == 0 {
+			continue
+		}
+		w := &slotWork{slot: slot, requests: requests}
+		if opts.HotspotChurn > 0 {
+			drawOffline(world, churnRng, opts, metrics, w)
+		}
+		work = append(work, w)
+	}
+
+	// Parallel phase: schedule each slot with a worker-owned policy
+	// instance. Slots are striped across workers; each worker touches
+	// only its own slotWork entries, so no synchronisation beyond the
+	// final Wait is needed.
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		policy := first
+		if wk > 0 {
+			policy = newPolicy()
+		}
+		if policy == nil {
+			return nil, fmt.Errorf("sim: policy factory returned nil")
+		}
+		wg.Add(1)
+		go func(wk int, policy Scheduler) {
+			defer wg.Done()
+			for idx := wk; idx < len(work); idx += workers {
+				w := work[idx]
+				if w.allOffline {
+					continue
+				}
+				w.err = scheduleSlot(world, index, policy, opts, w)
+			}
+		}(wk, policy)
+	}
+	wg.Wait()
+	for _, w := range work {
+		if w.err != nil {
+			return nil, w.err
+		}
+	}
+
+	// Sequential epilogue: apply the slots in order, exactly as Run
+	// does. SchedulingTime sums the per-slot rounds, i.e. total CPU
+	// time spent scheduling, not the (shorter) parallel wall time.
+	prevPlacement := make([]similarity.Set, len(world.Hotspots))
+	var distanceSum float64
+	for _, w := range work {
+		metrics.SchedulingTime += w.took
+		if err := applySlot(world, opts, metrics, w, prevPlacement, &distanceSum); err != nil {
+			return nil, err
+		}
+		if w.asg != nil {
+			prevPlacement = w.asg.Placement
+		}
+	}
+	finalizeMetrics(world, metrics, distanceSum)
+	return metrics, nil
+}
+
+// slotWork carries one non-empty timeslot through the prepare →
+// schedule → apply pipeline shared by Run and RunParallel.
+type slotWork struct {
+	slot       int
+	requests   []trace.Request
+	offline    []bool // nil when churn is disabled
+	allOffline bool
+	ctx        *SlotContext
+	asg        *Assignment
+	took       time.Duration
+	err        error
+}
+
+// validateRun checks the shared Run/RunParallel inputs.
+func validateRun(world *trace.World, tr *trace.Trace, opts Options) error {
+	if world == nil || tr == nil {
+		return fmt.Errorf("sim: nil world or trace")
+	}
+	if err := world.Validate(); err != nil {
+		return fmt.Errorf("sim: invalid world: %w", err)
+	}
+	if err := tr.Validate(world); err != nil {
+		return fmt.Errorf("sim: invalid trace: %w", err)
+	}
+	return opts.Validate()
+}
+
+// newRunMetrics allocates the metrics accumulator for one run.
+func newRunMetrics(world *trace.World, tr *trace.Trace, scheme string, opts Options) *Metrics {
 	m := len(world.Hotspots)
 	metrics := &Metrics{
-		Scheme:           policy.Name(),
+		Scheme:           scheme,
 		PerHotspotLoad:   make([]int64, m),
 		PerHotspotServed: make([]int64, m),
 	}
@@ -208,148 +357,167 @@ func Run(world *trace.World, tr *trace.Trace, policy Scheduler, opts Options) (*
 			metrics.PerHotspotSlotLoad[h] = make([]int64, tr.Slots)
 		}
 	}
+	return metrics
+}
 
-	var distanceSum float64
-	prevPlacement := make([]similarity.Set, m)
-
-	bySlot := tr.BySlot()
-	for slot, requests := range bySlot {
-		if len(requests) == 0 {
-			continue
+// drawOffline draws the slot's churned-out hotspots from rng (exactly
+// one draw per hotspot, so the stream is identical however slots are
+// later scheduled) and records them on w.
+func drawOffline(world *trace.World, rng *rand.Rand, opts Options, metrics *Metrics, w *slotWork) {
+	m := len(world.Hotspots)
+	w.offline = make([]bool, m)
+	online := 0
+	for h := 0; h < m; h++ {
+		if rng.Float64() < opts.HotspotChurn {
+			w.offline[h] = true
+			metrics.OfflineHotspotSlots++
+		} else {
+			online++
 		}
+	}
+	w.allOffline = online == 0
+}
 
-		// Churn: draw this slot's offline hotspots and index only the
-		// online ones, so demand aggregates to reachable devices.
-		slotIndex := index
-		var offline []bool
-		if opts.HotspotChurn > 0 {
-			offline = make([]bool, m)
-			online := 0
-			for h := 0; h < m; h++ {
-				if churnRng.Float64() < opts.HotspotChurn {
-					offline[h] = true
-					metrics.OfflineHotspotSlots++
-				} else {
-					online++
-				}
-			}
-			if online == 0 {
-				// Whole fleet offline: everything goes to the origin.
-				metrics.ServedByCDN += int64(len(requests))
-				metrics.TotalRequests += int64(len(requests))
-				distanceSum += world.CDNDistanceKm * float64(len(requests))
-				if opts.KeepSlotMetrics {
-					metrics.PerSlot = append(metrics.PerSlot, SlotMetrics{
-						Slot:        slot,
-						Requests:    int64(len(requests)),
-						ServedByCDN: int64(len(requests)),
-					})
-				}
-				continue
-			}
-			slotIndex, err = onlineIndex(world, offline)
-			if err != nil {
-				return nil, err
-			}
-		}
-
-		ctx, err := BuildSlotContext(world, slotIndex, slot, requests, stats.SplitRand(opts.Seed, fmt.Sprintf("slot-%d", slot)))
+// scheduleSlot builds the slot's context (indexing only online
+// hotspots under churn) and runs one policy scheduling round,
+// recording the assignment and its duration on w.
+func scheduleSlot(world *trace.World, index *geo.Grid, policy Scheduler, opts Options, w *slotWork) error {
+	slotIndex := index
+	if w.offline != nil {
+		var err error
+		slotIndex, err = onlineIndex(world, w.offline)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if offline != nil {
-			for h := 0; h < m; h++ {
-				if offline[h] {
-					ctx.Capacity[h] = 0
-				}
+	}
+	ctx, err := BuildSlotContext(world, slotIndex, w.slot, w.requests, stats.SplitRand(opts.Seed, fmt.Sprintf("slot-%d", w.slot)))
+	if err != nil {
+		return err
+	}
+	if w.offline != nil {
+		for h := range ctx.Capacity {
+			if w.offline[h] {
+				ctx.Capacity[h] = 0
 			}
 		}
-		for h := 0; h < m; h++ {
-			metrics.PerHotspotLoad[h] += ctx.Demand.Totals[h]
-			if opts.KeepSlotLoads {
-				metrics.PerHotspotSlotLoad[h][slot] = ctx.Demand.Totals[h]
-			}
-		}
+	}
+	w.ctx = ctx
 
-		start := time.Now()
-		asg, err := policy.Schedule(ctx)
-		metrics.SchedulingTime += time.Since(start)
-		if err != nil {
-			return nil, fmt.Errorf("sim: %s slot %d: %w", policy.Name(), slot, err)
-		}
-		if err := checkAssignment(asg, m, len(requests)); err != nil {
-			return nil, fmt.Errorf("sim: %s slot %d: %w", policy.Name(), slot, err)
-		}
+	start := time.Now()
+	asg, err := policy.Schedule(ctx)
+	w.took = time.Since(start)
+	if err != nil {
+		return fmt.Errorf("sim: %s slot %d: %w", policy.Name(), w.slot, err)
+	}
+	if err := checkAssignment(asg, len(world.Hotspots), len(w.requests)); err != nil {
+		return fmt.Errorf("sim: %s slot %d: %w", policy.Name(), w.slot, err)
+	}
+	w.asg = asg
+	return nil
+}
 
-		slotServedBefore := metrics.ServedByHotspot
-		slotCDNBefore := metrics.ServedByCDN
-		slotReplicasBefore := metrics.Replicas
+// applySlot folds one scheduled slot into the metrics: demand
+// accounting, replica pushes against the previous placement, and
+// serving every request in order under placement and capacity
+// constraints. It must be called in slot order.
+func applySlot(world *trace.World, opts Options, metrics *Metrics, w *slotWork, prevPlacement []similarity.Set, distanceSum *float64) error {
+	m := len(world.Hotspots)
+	slot, requests := w.slot, w.requests
 
-		// Replication accounting: only newly placed videos cost a push.
-		for h := 0; h < m; h++ {
-			pl := asg.Placement[h]
-			if pl.Len() > world.Hotspots[h].CacheCapacity {
-				return nil, fmt.Errorf("sim: %s slot %d: hotspot %d placement %d exceeds cache %d",
-					policy.Name(), slot, h, pl.Len(), world.Hotspots[h].CacheCapacity)
-			}
-			for v := range pl {
-				if prevPlacement[h] == nil || !prevPlacement[h].Contains(v) {
-					metrics.Replicas++
-				}
-			}
-		}
-
-		// Serve requests in order, enforcing placement and capacity
-		// (offline hotspots serve nothing).
-		capLeft := make([]int64, m)
-		for h := 0; h < m; h++ {
-			capLeft[h] = world.Hotspots[h].ServiceCapacity
-			if offline != nil && offline[h] {
-				capLeft[h] = 0
-			}
-		}
-		for r, req := range requests {
-			target := asg.Target[r]
-			if target != CDN {
-				feasible := capLeft[target] > 0 && asg.Placement[target].Contains(int(req.Video))
-				if !feasible {
-					metrics.Infeasible++
-					target = CDN
-				}
-			}
-			if target == CDN {
-				metrics.ServedByCDN++
-				distanceSum += world.CDNDistanceKm
-			} else {
-				capLeft[target]--
-				metrics.ServedByHotspot++
-				metrics.PerHotspotServed[target]++
-				distanceSum += req.Location.DistanceTo(world.Hotspots[target].Location)
-			}
-		}
+	if w.allOffline {
+		// Whole fleet offline: everything goes to the origin.
+		metrics.ServedByCDN += int64(len(requests))
 		metrics.TotalRequests += int64(len(requests))
-		if asg.ExtraReplicas < 0 {
-			return nil, fmt.Errorf("sim: %s slot %d: negative ExtraReplicas %d",
-				policy.Name(), slot, asg.ExtraReplicas)
-		}
-		metrics.Replicas += asg.ExtraReplicas
-		prevPlacement = asg.Placement
-
+		*distanceSum += world.CDNDistanceKm * float64(len(requests))
 		if opts.KeepSlotMetrics {
-			sm := SlotMetrics{
-				Slot:            slot,
-				Requests:        int64(len(requests)),
-				ServedByHotspot: metrics.ServedByHotspot - slotServedBefore,
-				ServedByCDN:     metrics.ServedByCDN - slotCDNBefore,
-				Replicas:        metrics.Replicas - slotReplicasBefore,
-			}
-			if sm.Requests > 0 {
-				sm.HotspotServingRatio = float64(sm.ServedByHotspot) / float64(sm.Requests)
-			}
-			metrics.PerSlot = append(metrics.PerSlot, sm)
+			metrics.PerSlot = append(metrics.PerSlot, SlotMetrics{
+				Slot:        slot,
+				Requests:    int64(len(requests)),
+				ServedByCDN: int64(len(requests)),
+			})
+		}
+		return nil
+	}
+
+	ctx, asg := w.ctx, w.asg
+	for h := 0; h < m; h++ {
+		metrics.PerHotspotLoad[h] += ctx.Demand.Totals[h]
+		if opts.KeepSlotLoads {
+			metrics.PerHotspotSlotLoad[h][slot] = ctx.Demand.Totals[h]
 		}
 	}
 
+	slotServedBefore := metrics.ServedByHotspot
+	slotCDNBefore := metrics.ServedByCDN
+	slotReplicasBefore := metrics.Replicas
+
+	// Replication accounting: only newly placed videos cost a push.
+	for h := 0; h < m; h++ {
+		pl := asg.Placement[h]
+		if pl.Len() > world.Hotspots[h].CacheCapacity {
+			return fmt.Errorf("sim: %s slot %d: hotspot %d placement %d exceeds cache %d",
+				metrics.Scheme, slot, h, pl.Len(), world.Hotspots[h].CacheCapacity)
+		}
+		for v := range pl {
+			if prevPlacement[h] == nil || !prevPlacement[h].Contains(v) {
+				metrics.Replicas++
+			}
+		}
+	}
+
+	// Serve requests in order, enforcing placement and capacity
+	// (offline hotspots serve nothing).
+	capLeft := make([]int64, m)
+	for h := 0; h < m; h++ {
+		capLeft[h] = world.Hotspots[h].ServiceCapacity
+		if w.offline != nil && w.offline[h] {
+			capLeft[h] = 0
+		}
+	}
+	for r, req := range requests {
+		target := asg.Target[r]
+		if target != CDN {
+			feasible := capLeft[target] > 0 && asg.Placement[target].Contains(int(req.Video))
+			if !feasible {
+				metrics.Infeasible++
+				target = CDN
+			}
+		}
+		if target == CDN {
+			metrics.ServedByCDN++
+			*distanceSum += world.CDNDistanceKm
+		} else {
+			capLeft[target]--
+			metrics.ServedByHotspot++
+			metrics.PerHotspotServed[target]++
+			*distanceSum += req.Location.DistanceTo(world.Hotspots[target].Location)
+		}
+	}
+	metrics.TotalRequests += int64(len(requests))
+	if asg.ExtraReplicas < 0 {
+		return fmt.Errorf("sim: %s slot %d: negative ExtraReplicas %d",
+			metrics.Scheme, slot, asg.ExtraReplicas)
+	}
+	metrics.Replicas += asg.ExtraReplicas
+
+	if opts.KeepSlotMetrics {
+		sm := SlotMetrics{
+			Slot:            slot,
+			Requests:        int64(len(requests)),
+			ServedByHotspot: metrics.ServedByHotspot - slotServedBefore,
+			ServedByCDN:     metrics.ServedByCDN - slotCDNBefore,
+			Replicas:        metrics.Replicas - slotReplicasBefore,
+		}
+		if sm.Requests > 0 {
+			sm.HotspotServingRatio = float64(sm.ServedByHotspot) / float64(sm.Requests)
+		}
+		metrics.PerSlot = append(metrics.PerSlot, sm)
+	}
+	return nil
+}
+
+// finalizeMetrics derives the run-level ratios.
+func finalizeMetrics(world *trace.World, metrics *Metrics, distanceSum float64) {
 	if metrics.TotalRequests > 0 {
 		metrics.HotspotServingRatio = float64(metrics.ServedByHotspot) / float64(metrics.TotalRequests)
 		metrics.AvgAccessDistanceKm = distanceSum / float64(metrics.TotalRequests)
@@ -359,7 +527,6 @@ func Run(world *trace.World, tr *trace.Trace, policy Scheduler, opts Options) (*
 	if world.NumVideos > 0 {
 		metrics.ReplicationCost = float64(metrics.Replicas) / float64(world.NumVideos)
 	}
-	return metrics, nil
 }
 
 // BuildSlotContext aggregates one slot's requests to their nearest

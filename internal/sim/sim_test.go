@@ -2,6 +2,8 @@ package sim
 
 import (
 	"fmt"
+	"reflect"
+	"sort"
 	"testing"
 
 	"repro/internal/geo"
@@ -452,5 +454,102 @@ func TestRunKeepsSlotMetrics(t *testing.T) {
 	}
 	if m2.PerSlot != nil {
 		t.Error("PerSlot retained without the option")
+	}
+}
+
+// saltedPolicy is a deterministic, per-slot-independent policy that
+// consumes the slot's randomness stream: it caches each hotspot's
+// demanded videos minus a random per-slot exclusion and targets the
+// nearest hotspot when the video survived. Equal slot inputs (context
+// plus rand stream) always yield equal assignments, so Run and
+// RunParallel must agree exactly.
+type saltedPolicy struct{}
+
+func (saltedPolicy) Name() string { return "salted" }
+
+func (saltedPolicy) Schedule(ctx *SlotContext) (*Assignment, error) {
+	m := len(ctx.World.Hotspots)
+	salt := ctx.Rand.Intn(7)
+	placement := make([]similarity.Set, m)
+	for h := 0; h < m; h++ {
+		placement[h] = similarity.NewSet()
+		videos := make([]int, 0, len(ctx.Demand.PerVideo[h]))
+		for v := range ctx.Demand.PerVideo[h] {
+			videos = append(videos, int(v))
+		}
+		sort.Ints(videos)
+		for _, v := range videos {
+			if (v+salt)%7 == 0 {
+				continue
+			}
+			if placement[h].Len() < ctx.World.Hotspots[h].CacheCapacity {
+				placement[h].Add(v)
+			}
+		}
+	}
+	targets := make([]int, len(ctx.Requests))
+	for r, req := range ctx.Requests {
+		h := ctx.Nearest[r]
+		if placement[h].Contains(int(req.Video)) {
+			targets[r] = h
+		} else {
+			targets[r] = CDN
+		}
+	}
+	return &Assignment{Placement: placement, Target: targets}, nil
+}
+
+// TestRunParallelMatchesRun locks in RunParallel's contract: for a
+// per-slot-independent policy, scheduling slots concurrently must
+// reproduce Run's metrics bit for bit — churn draws, per-slot policy
+// randomness, replica accounting against the previous slot, and float
+// accumulation order included. Run with -race this also exercises the
+// worker fan-out for data races.
+func TestRunParallelMatchesRun(t *testing.T) {
+	cfg := trace.DefaultConfig()
+	cfg.NumHotspots = 30
+	cfg.NumVideos = 600
+	cfg.NumUsers = 900
+	cfg.NumRequests = 5000
+	cfg.NumRegions = 5
+	cfg.Slots = 8
+	world, tr, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	opts := Options{Seed: 7, HotspotChurn: 0.15, KeepSlotLoads: true, KeepSlotMetrics: true}
+
+	want, err := Run(world, tr, saltedPolicy{}, opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if want.OfflineHotspotSlots == 0 {
+		t.Fatal("churn drew no offline slots; test world too small to exercise the churn stream")
+	}
+	norm := func(m *Metrics) Metrics {
+		cp := *m
+		cp.SchedulingTime = 0 // wall-clock: the only field allowed to differ
+		return cp
+	}
+	for _, workers := range []int{0, 1, 2, 3, 8} {
+		got, err := RunParallel(world, tr, func() Scheduler { return saltedPolicy{} }, workers, opts)
+		if err != nil {
+			t.Fatalf("RunParallel(workers=%d): %v", workers, err)
+		}
+		if !reflect.DeepEqual(norm(want), norm(got)) {
+			t.Errorf("RunParallel(workers=%d) metrics diverge from Run:\n got %+v\nwant %+v",
+				workers, norm(got), norm(want))
+		}
+	}
+}
+
+func TestRunParallelValidation(t *testing.T) {
+	world := twoHotspotWorld()
+	tr := &trace.Trace{Slots: 1, Requests: requestsAt([]trace.VideoID{1}, 0, 0)}
+	if _, err := RunParallel(world, tr, nil, 2, Options{}); err == nil {
+		t.Error("nil factory accepted")
+	}
+	if _, err := RunParallel(world, tr, func() Scheduler { return nil }, 2, Options{}); err == nil {
+		t.Error("nil-returning factory accepted")
 	}
 }

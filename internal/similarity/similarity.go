@@ -9,6 +9,8 @@ package similarity
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/par"
 )
 
 // Set is a set of video (or other) integer identifiers.
@@ -70,6 +72,32 @@ func Jaccard(a, b Set) float64 {
 // JaccardDistance returns 1 - Jaccard(a, b), the content-aware distance
 // Jd of Eq. 13.
 func JaccardDistance(a, b Set) float64 { return 1 - Jaccard(a, b) }
+
+// DistanceMatrix computes the full pairwise JaccardDistance matrix of
+// sets. The O(n²) pair evaluations — the dominant cost of the
+// content-clustering stage on large fleets — fan out over workers
+// goroutines (0 selects GOMAXPROCS, 1 is serial); rows are striped
+// across workers and each unordered pair is computed exactly once, so
+// the result is identical for every worker count. The diagonal is 0.
+func DistanceMatrix(sets []Set, workers int) [][]float64 {
+	n := len(sets)
+	d := make([][]float64, n)
+	rows := make([]float64, n*n)
+	for i := range d {
+		d[i] = rows[i*n : (i+1)*n : (i+1)*n]
+	}
+	// Row i computes the upper triangle j > i and mirrors into d[j][i];
+	// every cell has exactly one writer, so no synchronisation is
+	// needed. Striding balances the shrinking rows across workers.
+	par.Strided(n, par.Workers(workers), func(i int) {
+		for j := i + 1; j < n; j++ {
+			v := JaccardDistance(sets[i], sets[j])
+			d[i][j] = v
+			d[j][i] = v
+		}
+	})
+	return d
+}
 
 // TopFraction returns the items accounting for the top frac of entries
 // by demand, i.e. the ceil(frac*|support|) most-demanded items. The

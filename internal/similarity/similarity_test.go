@@ -2,6 +2,7 @@ package similarity
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -175,5 +176,52 @@ func TestTopKDeterministic(t *testing.T) {
 				t.Fatal("TopK not deterministic under map iteration order")
 			}
 		}
+	}
+}
+
+func TestDistanceMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	sets := make([]Set, 25)
+	for i := range sets {
+		sets[i] = NewSet()
+		for k := 0; k < 5+rng.Intn(20); k++ {
+			sets[i].Add(rng.Intn(60))
+		}
+	}
+
+	serial := DistanceMatrix(sets, 1)
+	n := len(sets)
+	if len(serial) != n {
+		t.Fatalf("matrix has %d rows, want %d", len(serial), n)
+	}
+	for i := 0; i < n; i++ {
+		if len(serial[i]) != n {
+			t.Fatalf("row %d has %d entries, want %d", i, len(serial[i]), n)
+		}
+		if serial[i][i] != 0 {
+			t.Errorf("diagonal [%d][%d] = %v, want 0", i, i, serial[i][i])
+		}
+		for j := i + 1; j < n; j++ {
+			want := JaccardDistance(sets[i], sets[j])
+			if serial[i][j] != want {
+				t.Errorf("[%d][%d] = %v, want %v", i, j, serial[i][j], want)
+			}
+			if serial[i][j] != serial[j][i] {
+				t.Errorf("matrix not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+
+	// Every worker count computes the identical matrix (run under
+	// -race this also exercises the fan-out for data races).
+	for _, workers := range []int{0, 2, 3, 16} {
+		got := DistanceMatrix(sets, workers)
+		if !reflect.DeepEqual(serial, got) {
+			t.Errorf("DistanceMatrix(workers=%d) differs from serial", workers)
+		}
+	}
+
+	if got := DistanceMatrix(nil, 4); len(got) != 0 {
+		t.Errorf("DistanceMatrix(nil) = %v, want empty", got)
 	}
 }
