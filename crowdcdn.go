@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/fault"
 	"repro/internal/geo"
 	"repro/internal/predict"
 	"repro/internal/region"
@@ -87,6 +88,28 @@ type (
 	Figure = exp.Figure
 	// ExperimentRunner regenerates the paper's figures.
 	ExperimentRunner = exp.Runner
+)
+
+// Fault injection (see internal/fault and DESIGN.md §7). A
+// FaultScenario plugs into SimOptions.Faults; all fault randomness is
+// pre-drawn from seed streams split off SimOptions.Seed, so faulty
+// runs stay byte-identical across worker counts.
+type (
+	// FaultScenario composes failure modes for one simulation run.
+	FaultScenario = fault.Scenario
+	// MarkovChurn is per-hotspot on/off session churn.
+	MarkovChurn = fault.MarkovChurn
+	// RegionalOutage takes every hotspot within a radius offline for a
+	// window of slots.
+	RegionalOutage = fault.RegionalOutage
+	// CapacityDegradation scales a random fraction of the fleet's
+	// service/cache capacity over a window of slots.
+	CapacityDegradation = fault.CapacityDegradation
+	// FlashCrowd multiplies demand for the hottest videos over a window
+	// of slots.
+	FlashCrowd = fault.FlashCrowd
+	// StaleReports lags and thins the demand reports policies see.
+	StaleReports = fault.StaleReports
 )
 
 // CDN is the simulator's sentinel target meaning "served by the origin

@@ -18,6 +18,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/mcmf"
@@ -98,6 +99,16 @@ type Params struct {
 	// (ablation: value of the incremental schedule).
 	SingleShotTheta bool
 
+	// Deadline bounds one scheduling round's wall clock. 0 (the zero
+	// value) disables the bound. When a round overruns the deadline,
+	// the θ sweep stops early and the best partial plan is returned
+	// with Stats.DeadlineExceeded and Plan.Degraded set; the surplus
+	// the truncated sweep could not move falls back to the CDN.
+	// Because the cutoff is wall-clock, deadline-bounded rounds are
+	// NOT deterministic across machines or worker counts — leave it 0
+	// when byte-identical reproducibility matters.
+	Deadline time.Duration
+
 	// Workers bounds the parallelism of one scheduling round: the
 	// over×under pairwise-distance cache, the Jaccard distance matrix
 	// fed to clustering, and candidate-pair generation in the flow
@@ -162,6 +173,9 @@ func (p Params) Validate() error {
 	}
 	if p.Workers < 0 {
 		return fmt.Errorf("core: negative Workers %d", p.Workers)
+	}
+	if p.Deadline < 0 {
+		return fmt.Errorf("core: negative Deadline %v", p.Deadline)
 	}
 	return nil
 }
@@ -270,6 +284,23 @@ type Stats struct {
 	DirectEdges int
 	// Iterations is the number of θ rounds executed.
 	Iterations int
+	// Degraded reports that the round ran under degraded conditions:
+	// an MCMF solve failed and was recovered, or the deadline cut the
+	// sweep short. The plan is still complete and feasible; unmoved
+	// surplus falls back to the CDN via OverflowToCDN.
+	Degraded bool
+	// DeadlineExceeded reports that Params.Deadline truncated the
+	// round (implies Degraded).
+	DeadlineExceeded bool
+	// RecoveredErrors counts MCMF solves (θ iterations or the residual
+	// Gd pass) that failed — error or panic — and were recovered by
+	// leaving their flow unmoved.
+	RecoveredErrors int
+	// StrandedToCDN is the total surplus workload routed to the origin
+	// CDN server (Σ OverflowToCDN): demand the round could not balance
+	// within θ2, could not realise into redirects, or abandoned when
+	// degrading.
+	StrandedToCDN int64
 	// DistanceCalcs is the number of pairwise geo-distance evaluations
 	// the round performed. The over×under distances are computed once
 	// into a per-round cache and reused by every θ iteration and the
@@ -291,6 +322,11 @@ type Plan struct {
 	// OverflowToCDN[h] is surplus workload at h that could not be
 	// balanced within θ2 and is redirected to the origin CDN server.
 	OverflowToCDN []int64
+	// Degraded mirrors Stats.Degraded: the round ran under degraded
+	// conditions (recovered solver failure or deadline cutoff) and
+	// this is the best partial plan, with stranded demand routed to
+	// the CDN.
+	Degraded bool
 	// Stats summarises the round.
 	Stats Stats
 }

@@ -21,7 +21,9 @@ import (
 // It returns the redirects, the placement y, the amount of flow that
 // could not be realised into concrete redirects (no matching demand or
 // no cache space at the target), and the total number of replicas.
-func (s *Scheduler) replicate(d *Demand, flows map[int64]int64, svc []int64) (
+// cache holds the round's effective per-hotspot cache capacities
+// (nominal or degraded).
+func (s *Scheduler) replicate(d *Demand, flows map[int64]int64, svc []int64, cache []int) (
 	redirects []Redirect,
 	placement []similarity.Set,
 	unrealized int64,
@@ -119,7 +121,7 @@ func (s *Scheduler) replicate(d *Demand, flows map[int64]int64, svc []int64) (
 		v := top.video
 		// Redirecting v to j requires a replica at j.
 		if !placement[j].Contains(int(v)) {
-			if cacheUsed[j] >= s.world.Hotspots[j].CacheCapacity {
+			if cacheUsed[j] >= cache[j] {
 				continue // target cache full; this (v, j) is unrealisable
 			}
 			placement[j].Add(int(v))
@@ -167,7 +169,7 @@ func (s *Scheduler) replicate(d *Demand, flows map[int64]int64, svc []int64) (
 	}
 	var fill []localDemand
 	for i := 0; i < m; i++ {
-		if cacheUsed[i] >= s.world.Hotspots[i].CacheCapacity {
+		if cacheUsed[i] >= cache[i] {
 			continue
 		}
 		for v, n := range lambdaRem[i] {
@@ -211,7 +213,7 @@ func (s *Scheduler) replicate(d *Demand, flows map[int64]int64, svc []int64) (
 		if serveBudget[ld.hotspot] <= 0 {
 			continue
 		}
-		if cacheUsed[ld.hotspot] >= s.world.Hotspots[ld.hotspot].CacheCapacity {
+		if cacheUsed[ld.hotspot] >= cache[ld.hotspot] {
 			continue
 		}
 		if placement[ld.hotspot].Contains(int(ld.video)) {

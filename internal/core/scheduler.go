@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/geo"
+	"repro/internal/mcmf"
 	"repro/internal/par"
 	"repro/internal/trace"
 )
@@ -43,12 +45,24 @@ func (s *Scheduler) World() *trace.World { return s.world }
 // Params returns the scheduler's parameters.
 func (s *Scheduler) Params() Params { return s.params }
 
+// Constraints carries one round's effective resource limits, which may
+// differ from the world's nominal values when faults degrade the fleet
+// (churned-out hotspots at capacity 0, throttled devices at a fraction
+// of their nominal service or cache capacity). Nil slices mean
+// "nominal".
+type Constraints struct {
+	// Service[h] overrides hotspot h's service capacity this round.
+	Service []int64
+	// Cache[h] overrides hotspot h's cache capacity this round.
+	Cache []int
+}
+
 // Schedule runs Algorithm 1 (request balancing with content
 // aggregation) followed by Procedure 1 (content aggregation
 // replication) on one timeslot's aggregated demand and returns the
 // resulting plan.
 func (s *Scheduler) Schedule(d *Demand) (*Plan, error) {
-	return s.ScheduleWithCapacities(d, nil)
+	return s.ScheduleRound(d, Constraints{})
 }
 
 // ScheduleWithCapacities is Schedule with per-round effective service
@@ -57,6 +71,45 @@ func (s *Scheduler) Schedule(d *Demand) (*Plan, error) {
 // svc uses the world's capacities; otherwise svc must cover every
 // hotspot with non-negative values.
 func (s *Scheduler) ScheduleWithCapacities(d *Demand, svc []int64) (*Plan, error) {
+	return s.ScheduleRound(d, Constraints{Service: svc})
+}
+
+// solveFn indirects the MCMF solve so tests can inject solver failures
+// and panics to exercise the degraded path.
+var solveFn = func(g *mcmf.Graph, source, sink int, limit int64, alg mcmf.Algorithm) (mcmf.Result, error) {
+	return g.Solve(source, sink, limit, alg)
+}
+
+// safeSolve runs one MCMF solve, converting a solver panic into an
+// error so a corrupted or over-constrained network can never take the
+// whole scheduling round down.
+func safeSolve(g *mcmf.Graph, source, sink int, limit int64, alg mcmf.Algorithm) (res mcmf.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: mcmf solver panicked: %v", r)
+		}
+	}()
+	return solveFn(g, source, sink, limit, alg)
+}
+
+// ScheduleRound is the fault-aware scheduling entry point: Schedule
+// with per-round effective service and cache capacities. It validates
+// its inputs and degrades gracefully instead of failing the round:
+//
+//   - an infeasible or failing MCMF solve (error or panic) is
+//     recoverable — the θ iteration's flow simply stays unmoved and
+//     falls back to the CDN, counted in Stats.RecoveredErrors;
+//   - when Params.Deadline is set and the round overruns it, the θ
+//     sweep stops early and the best partial plan so far is returned
+//     with Stats.DeadlineExceeded;
+//   - either way the plan is complete and feasible (placement within
+//     cache limits, stranded surplus routed to the CDN via
+//     OverflowToCDN) and marked with Plan.Degraded.
+//
+// Hard errors remain only for contract violations by the caller: nil
+// or negative demand, mis-sized or negative capacity vectors.
+func (s *Scheduler) ScheduleRound(d *Demand, cons Constraints) (*Plan, error) {
+	start := time.Now()
 	if d == nil {
 		return nil, fmt.Errorf("core: nil demand")
 	}
@@ -64,6 +117,15 @@ func (s *Scheduler) ScheduleWithCapacities(d *Demand, svc []int64) (*Plan, error
 	if d.NumHotspots() != m {
 		return nil, fmt.Errorf("core: demand covers %d hotspots, world has %d", d.NumHotspots(), m)
 	}
+	if len(d.PerVideo) != m {
+		return nil, fmt.Errorf("core: demand per-video covers %d hotspots, world has %d", len(d.PerVideo), m)
+	}
+	for h, n := range d.Totals {
+		if n < 0 {
+			return nil, fmt.Errorf("core: negative demand %d at hotspot %d", n, h)
+		}
+	}
+	svc := cons.Service
 	if svc == nil {
 		svc = s.worldCapacities()
 	} else {
@@ -75,6 +137,22 @@ func (s *Scheduler) ScheduleWithCapacities(d *Demand, svc []int64) (*Plan, error
 				return nil, fmt.Errorf("core: negative capacity %d at hotspot %d", c, h)
 			}
 		}
+	}
+	cache := cons.Cache
+	if cache == nil {
+		cache = s.worldCacheCapacities()
+	} else {
+		if len(cache) != m {
+			return nil, fmt.Errorf("core: cache capacities cover %d hotspots, world has %d", len(cache), m)
+		}
+		for h, c := range cache {
+			if c < 0 {
+				return nil, fmt.Errorf("core: negative cache capacity %d at hotspot %d", c, h)
+			}
+		}
+	}
+	overDeadline := func() bool {
+		return s.params.Deadline > 0 && time.Since(start) >= s.params.Deadline
 	}
 
 	over, under, phiOver, phiUnder := s.partition(d, svc)
@@ -121,38 +199,58 @@ func (s *Scheduler) ScheduleWithCapacities(d *Demand, svc []int64) (*Plan, error
 		if moved >= stats.MaxFlow {
 			break
 		}
+		if overDeadline() {
+			stats.Degraded = true
+			stats.DeadlineExceeded = true
+			break
+		}
 		nb := s.buildNetwork(theta, over, under, phiOver, phiUnder, dcache, clusterOf, !s.params.DisableGuides)
 		stats.DirectEdges += nb.directPairs
 		stats.GuideNodes += nb.guideNodes
 		if len(nb.edges) > 0 {
-			res, err := nb.g.Solve(nb.source, nb.sink, stats.MaxFlow-moved, s.params.Algorithm)
+			res, err := safeSolve(nb.g, nb.source, nb.sink, stats.MaxFlow-moved, s.params.Algorithm)
 			if err != nil {
-				return nil, fmt.Errorf("core: solving Gc(θ=%v): %w", theta, err)
+				// Recoverable: the iteration's flow stays unmoved and
+				// falls back to the CDN with the rest of the surplus.
+				stats.Degraded = true
+				stats.RecoveredErrors++
+				stats.Iterations++
+				continue
 			}
 			extracted := s.extractFlows(nb, flows, phiOver, phiUnder)
 			if extracted != res.Flow {
-				return nil, fmt.Errorf("core: extracted %d units but solver pushed %d", extracted, res.Flow)
+				// Attribution mismatch: trust the extracted flows (they
+				// reflect the edges actually carrying flow, and φ was
+				// decremented to match) and degrade instead of failing.
+				stats.Degraded = true
+				stats.RecoveredErrors++
 			}
-			moved += res.Flow
+			moved += extracted
 		}
 		stats.Iterations++
 	}
 
 	// Residual pass on the plain balancing network Gd (Algorithm 1,
 	// lines 11-13): move whatever the guided rounds left behind.
-	if moved < stats.MaxFlow {
+	if moved < stats.MaxFlow && !overDeadline() {
 		nb := s.buildNetwork(s.params.Theta2, over, under, phiOver, phiUnder, dcache, nil, false)
 		if len(nb.edges) > 0 {
-			res, err := nb.g.Solve(nb.source, nb.sink, stats.MaxFlow-moved, s.params.Algorithm)
+			res, err := safeSolve(nb.g, nb.source, nb.sink, stats.MaxFlow-moved, s.params.Algorithm)
 			if err != nil {
-				return nil, fmt.Errorf("core: solving residual Gd: %w", err)
+				stats.Degraded = true
+				stats.RecoveredErrors++
+			} else {
+				extracted := s.extractFlows(nb, flows, phiOver, phiUnder)
+				if extracted != res.Flow {
+					stats.Degraded = true
+					stats.RecoveredErrors++
+				}
+				moved += extracted
 			}
-			extracted := s.extractFlows(nb, flows, phiOver, phiUnder)
-			if extracted != res.Flow {
-				return nil, fmt.Errorf("core: residual extracted %d units but solver pushed %d", extracted, res.Flow)
-			}
-			moved += res.Flow
 		}
+	} else if moved < stats.MaxFlow && overDeadline() {
+		stats.Degraded = true
+		stats.DeadlineExceeded = true
 	}
 	stats.MovedFlow = moved
 
@@ -165,7 +263,7 @@ func (s *Scheduler) ScheduleWithCapacities(d *Demand, svc []int64) (*Plan, error
 
 	// Procedure 1: realise flows into per-video redirects and build
 	// the placement.
-	redirects, placement, unrealized, replicas, err := s.replicate(d, flows, svc)
+	redirects, placement, unrealized, replicas, err := s.replicate(d, flows, svc, cache)
 	if err != nil {
 		return nil, err
 	}
@@ -184,15 +282,29 @@ func (s *Scheduler) ScheduleWithCapacities(d *Demand, svc []int64) (*Plan, error
 			overflow[i] += miss
 		}
 	}
+	for _, o := range overflow {
+		stats.StrandedToCDN += o
+	}
 
 	plan := &Plan{
 		Flows:         flowEdges(flows, realized, m),
 		Redirects:     redirects,
 		Placement:     placement,
 		OverflowToCDN: overflow,
+		Degraded:      stats.Degraded,
 		Stats:         stats,
 	}
 	return plan, nil
+}
+
+// worldCacheCapacities returns the nominal per-hotspot cache
+// capacities.
+func (s *Scheduler) worldCacheCapacities() []int {
+	cache := make([]int, len(s.world.Hotspots))
+	for h := range s.world.Hotspots {
+		cache[h] = s.world.Hotspots[h].CacheCapacity
+	}
+	return cache
 }
 
 // sweepThetas returns the θ values Algorithm 1's sweep visits:

@@ -17,10 +17,11 @@ import (
 // beyond the paper's figures: the cross-region hierarchical mode the
 // paper proposes as future work, robustness to crowdsourced-device
 // churn, a comparison against reactive edge caching and
-// power-of-two-choices routing, and the DESIGN.md ablations.
+// power-of-two-choices routing, the resilience sweep over injected
+// failure scenarios (internal/fault), and the DESIGN.md ablations.
 func ExtensionExperiments() []string {
 	return []string{
-		"ext-hier", "ext-churn", "ext-reactive",
+		"ext-hier", "ext-churn", "ext-reactive", "resilience",
 		"abl-guides", "abl-theta", "abl-prediction", "abl-mcmf", "abl-cluster",
 		"abl-workers",
 	}
@@ -38,6 +39,8 @@ func (r *Runner) runExtension(id string) ([]*Figure, error) {
 	case "ext-reactive":
 		f, err := r.ExtReactive()
 		return wrap(f, err)
+	case "resilience":
+		return r.Resilience()
 	case "abl-guides":
 		return r.ablate("abl-guides", "guide-node construction", []ablVariant{
 			{"avg-distance", func(p *core.Params) { p.GuideCost = core.GuideCostAvgDistance }},

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 )
 
@@ -21,8 +22,10 @@ func TestExtensionExperimentsRun(t *testing.T) {
 			}
 			var buf bytes.Buffer
 			for _, fig := range figs {
-				if fig.ID != id {
-					t.Errorf("figure ID %q, want %q", fig.ID, id)
+				// Multi-figure experiments (resilience) emit one figure
+				// per sub-scenario under an "<id>-<name>" ID.
+				if !strings.HasPrefix(fig.ID, id) {
+					t.Errorf("figure ID %q, want prefix %q", fig.ID, id)
 				}
 				if len(fig.Series) == 0 {
 					t.Error("no series")
@@ -67,6 +70,40 @@ func TestExtChurnMonotone(t *testing.T) {
 		// Serving at max churn must be below serving with no churn.
 		if s.Y[len(s.Y)-1] >= s.Y[0] {
 			t.Errorf("%s: serving did not degrade under churn: %v", s.Name, s.Y)
+		}
+	}
+}
+
+func TestResilience(t *testing.T) {
+	r := NewRunner(1, 0.05)
+	figs, err := r.Resilience()
+	if err != nil {
+		t.Fatalf("Resilience: %v", err)
+	}
+	if len(figs) != 5 {
+		t.Fatalf("got %d figures, want 5 failure families", len(figs))
+	}
+	byID := map[string]*Figure{}
+	for _, fig := range figs {
+		byID[fig.ID] = fig
+		if len(fig.Series) != 3 {
+			t.Errorf("%s has %d series, want RBCAer + 2 baselines", fig.ID, len(fig.Series))
+		}
+		for _, s := range fig.Series {
+			if len(s.X) != 4 {
+				t.Errorf("%s/%s has %d intensity levels, want 4", fig.ID, s.Name, len(s.X))
+			}
+		}
+	}
+	// The strongest outage blankets half the world's diagonal: every
+	// scheme must lose serving ratio against its fault-free baseline.
+	outage := byID["resilience-outage"]
+	if outage == nil {
+		t.Fatal("no resilience-outage figure")
+	}
+	for _, s := range outage.Series {
+		if s.Y[len(s.Y)-1] >= s.Y[0] {
+			t.Errorf("%s: serving did not degrade under a half-diagonal outage: %v", s.Name, s.Y)
 		}
 	}
 }

@@ -162,6 +162,7 @@ func (p *Policy) Schedule(ctx *sim.SlotContext) (*sim.Assignment, error) {
 		return int64(h)*int64(ctx.World.NumVideos) + int64(v)
 	}
 	capacity := ctx.EffectiveCapacity()
+	cache := ctx.EffectiveCacheCapacity()
 	slack := make([]int64, m)
 	for h := 0; h < m; h++ {
 		slack[h] = capacity[h] - working.Totals[h]
@@ -217,10 +218,12 @@ func (p *Policy) Schedule(ctx *sim.SlotContext) (*sim.Assignment, error) {
 			}
 		}
 		localCap := make([]int64, len(members))
+		localCache := make([]int, len(members))
 		for li, h := range members {
 			localCap[li] = capacity[h]
+			localCache[li] = cache[h]
 		}
-		localPlan, err := p.localScheds[k].ScheduleWithCapacities(localDemand, localCap)
+		localPlan, err := p.localScheds[k].ScheduleRound(localDemand, core.Constraints{Service: localCap, Cache: localCache})
 		if err != nil {
 			return nil, fmt.Errorf("region: local round %d: %w", k, err)
 		}
@@ -250,7 +253,7 @@ func (p *Policy) Schedule(ctx *sim.SlotContext) (*sim.Assignment, error) {
 		kept := moves[:0]
 		for _, mv := range moves {
 			if !finalPlacement[mv.target].Contains(v) {
-				if cacheUsed[mv.target] >= ctx.World.Hotspots[mv.target].CacheCapacity {
+				if cacheUsed[mv.target] >= cache[mv.target] {
 					crossInflow[mv.target] -= mv.amt
 					continue
 				}

@@ -144,7 +144,17 @@ func TestChurnOptionValidation(t *testing.T) {
 	if _, err := sim.Run(world, tr, Nearest{}, sim.Options{HotspotChurn: -0.1}); err == nil {
 		t.Error("negative churn accepted")
 	}
-	if _, err := sim.Run(world, tr, Nearest{}, sim.Options{HotspotChurn: 1.0}); err == nil {
-		t.Error("churn of 1.0 accepted")
+	if _, err := sim.Run(world, tr, Nearest{}, sim.Options{HotspotChurn: 1.1}); err == nil {
+		t.Error("churn above 1 accepted")
+	}
+	// Churn of exactly 1 is valid: the whole fleet is offline every
+	// slot and everything is served by the CDN.
+	m, err := sim.Run(world, tr, Nearest{}, sim.Options{HotspotChurn: 1.0})
+	if err != nil {
+		t.Fatalf("churn of 1.0 rejected: %v", err)
+	}
+	if m.ServedByHotspot != 0 || m.ServedByCDN != m.TotalRequests {
+		t.Errorf("churn 1.0: served %d by hotspot, %d/%d by CDN",
+			m.ServedByHotspot, m.ServedByCDN, m.TotalRequests)
 	}
 }

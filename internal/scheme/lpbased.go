@@ -173,6 +173,7 @@ func (s LPBased) Schedule(ctx *sim.SlotContext) (*sim.Assignment, error) {
 		}
 	}
 	capacity := ctx.EffectiveCapacity()
+	cache := ctx.EffectiveCacheCapacity()
 	for j, row := range perServer {
 		if err := prob.AddConstraint(row, lp.LE, float64(capacity[j])); err != nil {
 			return nil, fmt.Errorf("scheme: LP capacity row: %w", err)
@@ -190,7 +191,7 @@ func (s LPBased) Schedule(ctx *sim.SlotContext) (*sim.Assignment, error) {
 		perCache[j][v] = 1
 	}
 	for j, row := range perCache {
-		if err := prob.AddConstraint(row, lp.LE, float64(ctx.World.Hotspots[j].CacheCapacity)); err != nil {
+		if err := prob.AddConstraint(row, lp.LE, float64(cache[j])); err != nil {
 			return nil, fmt.Errorf("scheme: LP cache row: %w", err)
 		}
 	}
@@ -208,7 +209,7 @@ func (s LPBased) Schedule(ctx *sim.SlotContext) (*sim.Assignment, error) {
 	placement := make([]similarity.Set, m)
 	cacheUsed := make([]int, m)
 	for h := 0; h < m; h++ {
-		placement[h] = topLocal(ctx.Demand.VideoCounts(h), ctx.World.Hotspots[h].CacheCapacity)
+		placement[h] = topLocal(ctx.Demand.VideoCounts(h), cache[h])
 		cacheUsed[h] = placement[h].Len()
 	}
 
@@ -253,7 +254,7 @@ func (s LPBased) Schedule(ctx *sim.SlotContext) (*sim.Assignment, error) {
 				continue
 			}
 			if !placement[sh.j].Contains(int(g.video)) {
-				if cacheUsed[sh.j] >= ctx.World.Hotspots[sh.j].CacheCapacity {
+				if cacheUsed[sh.j] >= cache[sh.j] {
 					continue
 				}
 				placement[sh.j].Add(int(g.video))

@@ -29,9 +29,10 @@ func (Nearest) Schedule(ctx *sim.SlotContext) (*sim.Assignment, error) {
 		return nil, fmt.Errorf("scheme: nil context")
 	}
 	m := len(ctx.World.Hotspots)
+	cache := ctx.EffectiveCacheCapacity()
 	placement := make([]similarity.Set, m)
 	for h := 0; h < m; h++ {
-		placement[h] = topLocal(ctx.Demand.VideoCounts(h), ctx.World.Hotspots[h].CacheCapacity)
+		placement[h] = topLocal(ctx.Demand.VideoCounts(h), cache[h])
 	}
 	targets := make([]int, len(ctx.Requests))
 	copy(targets, ctx.Nearest)

@@ -70,6 +70,7 @@ func (p PowerOfTwo) Schedule(ctx *sim.SlotContext) (*sim.Assignment, error) {
 // lists used for routing.
 func neighborhoodPlacement(ctx *sim.SlotContext, radiusKm float64) ([]similarity.Set, [][]int) {
 	m := len(ctx.World.Hotspots)
+	cache := ctx.EffectiveCacheCapacity()
 	placement := make([]similarity.Set, m)
 	neighborsOf := make([][]int, m)
 	buf := make([]int64, ctx.World.NumVideos)
@@ -91,7 +92,7 @@ func neighborhoodPlacement(ctx *sim.SlotContext, radiusKm float64) ([]similarity
 			pairs[i] = videoCount{id: v, n: buf[v]}
 			buf[v] = 0
 		}
-		placement[h] = topLocalPairs(pairs, ctx.World.Hotspots[h].CacheCapacity)
+		placement[h] = topLocalPairs(pairs, cache[h])
 	}
 	return placement, neighborsOf
 }

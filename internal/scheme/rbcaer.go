@@ -47,11 +47,20 @@ func (p *RBCAer) Schedule(ctx *sim.SlotContext) (*sim.Assignment, error) {
 		p.sched = sched
 	}
 
-	plan, err := p.sched.ScheduleWithCapacities(ctx.Demand, ctx.EffectiveCapacity())
+	plan, err := p.sched.ScheduleRound(ctx.Demand, core.Constraints{
+		Service: ctx.EffectiveCapacity(),
+		Cache:   ctx.EffectiveCacheCapacity(),
+	})
 	if err != nil {
 		return nil, fmt.Errorf("scheme: RBCAer scheduling: %w", err)
 	}
-	return MaterializePlan(ctx, plan)
+	asg, err := MaterializePlan(ctx, plan)
+	if err != nil {
+		return nil, err
+	}
+	asg.Degraded = plan.Degraded
+	asg.StrandedDemand = plan.Stats.StrandedToCDN
+	return asg, nil
 }
 
 // MaterializePlan converts a core.Plan into per-request targets:

@@ -2,6 +2,7 @@ package scheme
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cache"
 	"repro/internal/sim"
@@ -99,7 +100,10 @@ func (p *Reactive) Schedule(ctx *sim.SlotContext) (*sim.Assignment, error) {
 		}
 	}
 
-	// End-of-slot contents become the slot's placement.
+	// End-of-slot contents become the slot's placement. The fetch
+	// accounting below compares physical contents slot over slot, so it
+	// stays consistent even when degraded cache capacity hides part of
+	// the cache from the reported placement.
 	placement := make([]similarity.Set, m)
 	var newlyPlaced int64
 	for h := 0; h < m; h++ {
@@ -111,12 +115,24 @@ func (p *Reactive) Schedule(ctx *sim.SlotContext) (*sim.Assignment, error) {
 		}
 	}
 
+	// Under cache degradation the device has lost cache space: only an
+	// effective-capacity-sized slice of the contents is usable (and
+	// reported) this slot. The physical LRU state is untouched and
+	// resurfaces when the fault clears.
+	reported := placement
+	if cache := ctx.CacheCapacity; cache != nil {
+		reported = make([]similarity.Set, m)
+		for h := 0; h < m; h++ {
+			reported[h] = trimSet(placement[h], cache[h])
+		}
+	}
+
 	// Pass 2: serve against the final contents within capacity.
 	capLeft := append([]int64(nil), ctx.EffectiveCapacity()...)
 	targets := make([]int, len(ctx.Requests))
 	for i, req := range ctx.Requests {
 		h := ctx.Nearest[i]
-		if capLeft[h] > 0 && placement[h].Contains(int(req.Video)) {
+		if capLeft[h] > 0 && reported[h].Contains(int(req.Video)) {
 			targets[i] = h
 			capLeft[h]--
 		} else {
@@ -132,5 +148,22 @@ func (p *Reactive) Schedule(ctx *sim.SlotContext) (*sim.Assignment, error) {
 			fetches, newlyPlaced)
 	}
 	p.prev = placement
-	return &sim.Assignment{Placement: placement, Target: targets, ExtraReplicas: extra}, nil
+	return &sim.Assignment{Placement: reported, Target: targets, ExtraReplicas: extra}, nil
+}
+
+// trimSet returns s when it fits limit, otherwise a deterministic
+// limit-sized subset (smallest ids kept).
+func trimSet(s similarity.Set, limit int) similarity.Set {
+	if s.Len() <= limit {
+		return s
+	}
+	if limit <= 0 {
+		return similarity.Set{}
+	}
+	ids := make([]int, 0, s.Len())
+	for v := range s {
+		ids = append(ids, v)
+	}
+	sort.Ints(ids)
+	return similarity.NewSet(ids[:limit]...)
 }

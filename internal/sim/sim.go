@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/geo"
 	"repro/internal/par"
 	"repro/internal/similarity"
@@ -44,9 +45,15 @@ type SlotContext struct {
 	Demand *core.Demand
 	// Capacity[h] is hotspot h's effective service capacity this slot:
 	// normally World.Hotspots[h].ServiceCapacity, but 0 for hotspots
-	// offline due to churn. Policies must budget against this, not the
+	// offline due to churn or injected faults, and scaled down under
+	// capacity degradation. Policies must budget against this, not the
 	// world's nominal capacity.
 	Capacity []int64
+	// CacheCapacity[h] is hotspot h's effective cache capacity this
+	// slot, when injected faults degrade it; nil means nominal. The
+	// slice is shared — policies must not mutate it. Use
+	// EffectiveCacheCapacity for a nil-safe view.
+	CacheCapacity []int
 	// Rand is the slot's deterministic randomness source.
 	Rand *rand.Rand
 }
@@ -60,6 +67,20 @@ func (ctx *SlotContext) EffectiveCapacity() []int64 {
 	out := make([]int64, len(ctx.World.Hotspots))
 	for h := range ctx.World.Hotspots {
 		out[h] = ctx.World.Hotspots[h].ServiceCapacity
+	}
+	return out
+}
+
+// EffectiveCacheCapacity returns ctx.CacheCapacity, falling back to the
+// world's nominal cache capacities when no fault degrades them. The
+// returned slice may be shared — callers must not mutate it.
+func (ctx *SlotContext) EffectiveCacheCapacity() []int {
+	if ctx.CacheCapacity != nil {
+		return ctx.CacheCapacity
+	}
+	out := make([]int, len(ctx.World.Hotspots))
+	for h := range ctx.World.Hotspots {
+		out[h] = ctx.World.Hotspots[h].CacheCapacity
 	}
 	return out
 }
@@ -78,6 +99,13 @@ type Assignment struct {
 	// caching policies fetch and evict within a slot). Most policies
 	// leave it zero.
 	ExtraReplicas int64
+	// Degraded reports that the policy produced this assignment under
+	// degraded conditions (recovered solver failure, deadline cutoff).
+	// The simulator counts such slots in Metrics.DegradedRounds.
+	Degraded bool
+	// StrandedDemand is the workload the policy knowingly abandoned to
+	// the CDN this slot (RBCAer reports Stats.StrandedToCDN here).
+	StrandedDemand int64
 }
 
 // Scheduler is a request-redirection and content-placement policy.
@@ -126,8 +154,28 @@ type Metrics struct {
 	// PerHotspotSlotLoad[h][t] is λ_h per slot (the Fig. 3a series).
 	PerHotspotSlotLoad [][]int64
 
-	// OfflineHotspotSlots counts (hotspot, slot) pairs lost to churn.
+	// OfflineHotspotSlots counts (hotspot, slot) pairs offline for any
+	// reason: i.i.d. HotspotChurn or injected faults (each pair counted
+	// once even when causes overlap).
 	OfflineHotspotSlots int64
+	// FaultOutageSlots counts (hotspot, slot) outage pairs injected by
+	// Options.Faults, keyed by cause ("markov-churn",
+	// "regional-outage"). Unlike OfflineHotspotSlots it attributes every
+	// fault pair to its cause even when the hotspot was already churned
+	// out by HotspotChurn. Nil when no fault outage occurred.
+	FaultOutageSlots map[string]int64
+	// FlashInjectedRequests is the number of synthetic requests
+	// flash-crowd faults added to the trace (part of TotalRequests).
+	FlashInjectedRequests int64
+	// DegradedRounds counts slots whose assignment was produced under
+	// degraded conditions (Assignment.Degraded).
+	DegradedRounds int64
+	// StrandedRequests is the total workload policies knowingly
+	// abandoned to the CDN (Σ Assignment.StrandedDemand).
+	StrandedRequests int64
+	// FallbackServedByCDN is the number of requests the CDN absorbed
+	// during degraded rounds (part of ServedByCDN).
+	FallbackServedByCDN int64
 
 	// PerSlot holds a per-timeslot metrics timeline when
 	// Options.KeepSlotMetrics is set (nil otherwise).
@@ -162,14 +210,25 @@ type Options struct {
 	// given slot (crowdsourced edge devices are unreliable). Offline
 	// hotspots disappear from the slot's index — requests aggregate to
 	// the nearest online hotspot — and serve nothing; their cache
-	// contents survive for when they return. 0 disables churn.
+	// contents survive for when they return. 0 disables churn; 1 takes
+	// the whole fleet down every slot (everything served by the CDN).
 	HotspotChurn float64
+	// Faults optionally injects structured failures — Markov session
+	// churn, correlated regional outages, capacity degradation, flash
+	// crowds, stale load reports — on top of the i.i.d. HotspotChurn.
+	// The scenario is compiled into a deterministic per-slot timeline
+	// from Seed, so runs are reproducible across Run, RunParallel, and
+	// any worker count. Nil injects nothing.
+	Faults *fault.Scenario
 }
 
 // Validate checks the options.
 func (o Options) Validate() error {
-	if o.HotspotChurn < 0 || o.HotspotChurn >= 1 {
-		return fmt.Errorf("sim: HotspotChurn %v outside [0, 1)", o.HotspotChurn)
+	if o.HotspotChurn < 0 || o.HotspotChurn > 1 {
+		return fmt.Errorf("sim: HotspotChurn %v outside [0, 1]", o.HotspotChurn)
+	}
+	if err := o.Faults.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
 	}
 	return nil
 }
@@ -183,6 +242,10 @@ func Run(world *trace.World, tr *trace.Trace, policy Scheduler, opts Options) (*
 	if err := validateRun(world, tr, opts); err != nil {
 		return nil, err
 	}
+	tr, tl, injected, err := compileFaults(world, tr, opts)
+	if err != nil {
+		return nil, err
+	}
 	index, err := world.Index()
 	if err != nil {
 		return nil, err
@@ -190,17 +253,17 @@ func Run(world *trace.World, tr *trace.Trace, policy Scheduler, opts Options) (*
 	churnRng := stats.SplitRand(opts.Seed, "hotspot-churn")
 
 	metrics := newRunMetrics(world, tr, policy.Name(), opts)
+	metrics.FlashInjectedRequests = injected
 	var distanceSum float64
 	prevPlacement := make([]similarity.Set, len(world.Hotspots))
 
-	for slot, requests := range tr.BySlot() {
+	bySlot := tr.BySlot()
+	for slot, requests := range bySlot {
 		if len(requests) == 0 {
 			continue
 		}
 		w := &slotWork{slot: slot, requests: requests}
-		if opts.HotspotChurn > 0 {
-			drawOffline(world, churnRng, opts, metrics, w)
-		}
+		prepareSlot(world, tl, bySlot, churnRng, opts, metrics, w)
 		if !w.allOffline {
 			if err := scheduleSlot(world, index, policy, opts, w); err != nil {
 				return nil, err
@@ -245,24 +308,31 @@ func RunParallel(world *trace.World, tr *trace.Trace, newPolicy func() Scheduler
 	if err := validateRun(world, tr, opts); err != nil {
 		return nil, err
 	}
+	tr, tl, injected, err := compileFaults(world, tr, opts)
+	if err != nil {
+		return nil, err
+	}
 	index, err := world.Index()
 	if err != nil {
 		return nil, err
 	}
 	churnRng := stats.SplitRand(opts.Seed, "hotspot-churn")
 	metrics := newRunMetrics(world, tr, first.Name(), opts)
+	metrics.FlashInjectedRequests = injected
 
 	// Sequential prologue: collect the non-empty slots and draw their
 	// churn in slot order, so the churn stream matches Run's exactly.
+	// Fault injection reads the precompiled timeline, so it is
+	// order-independent, but folding it into the same prologue keeps the
+	// metric accumulation identical to Run's.
 	var work []*slotWork
-	for slot, requests := range tr.BySlot() {
+	bySlot := tr.BySlot()
+	for slot, requests := range bySlot {
 		if len(requests) == 0 {
 			continue
 		}
 		w := &slotWork{slot: slot, requests: requests}
-		if opts.HotspotChurn > 0 {
-			drawOffline(world, churnRng, opts, metrics, w)
-		}
+		prepareSlot(world, tl, bySlot, churnRng, opts, metrics, w)
 		work = append(work, w)
 	}
 
@@ -321,12 +391,98 @@ func RunParallel(world *trace.World, tr *trace.Trace, newPolicy func() Scheduler
 type slotWork struct {
 	slot       int
 	requests   []trace.Request
-	offline    []bool // nil when churn is disabled
+	offline    []bool // nil when neither churn nor faults apply
 	allOffline bool
-	ctx        *SlotContext
-	asg        *Assignment
-	took       time.Duration
-	err        error
+	// svc is the slot's degraded per-hotspot service-capacity base row
+	// (before offline zeroing); nil means nominal. Shared with the
+	// fault timeline — never mutated.
+	svc []int64
+	// cache is the slot's degraded per-hotspot cache capacities; nil
+	// means nominal. Shared with the fault timeline — never mutated.
+	cache []int
+	// reportRequests are the requests the scheduler's (stale) load
+	// report actually describes; nil when reports are fresh.
+	reportRequests []trace.Request
+	// drops marks hotspots whose load report was lost this slot.
+	drops []bool
+	// stale is set when the policy's demand view must be rebuilt from
+	// reportRequests/drops instead of the slot's true requests.
+	stale bool
+	// actual is the slot's true aggregated demand, kept for metrics
+	// when ctx.Demand carries the stale reported view.
+	actual *core.Demand
+	ctx    *SlotContext
+	asg    *Assignment
+	took   time.Duration
+	err    error
+}
+
+// compileFaults expands Options.Faults against the run: flash crowds
+// are injected into the trace up front (a pure transform, so demand is
+// identical however slots are later scheduled) and everything else is
+// compiled into a deterministic per-slot timeline. A run without
+// faults returns the inputs untouched.
+func compileFaults(world *trace.World, tr *trace.Trace, opts Options) (*trace.Trace, *fault.Timeline, int64, error) {
+	if opts.Faults == nil || opts.Faults.Empty() {
+		return tr, nil, 0, nil
+	}
+	tr, injected, err := fault.InjectFlashCrowds(tr, opts.Faults)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("sim: %w", err)
+	}
+	tl, err := fault.Compile(world, tr.Slots, opts.Seed, opts.Faults)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("sim: %w", err)
+	}
+	return tr, tl, injected, nil
+}
+
+// prepareSlot draws the slot's i.i.d. churn and merges the fault
+// timeline into the slot's offline mask, capacity rows, and stale
+// report view. It must run sequentially in slot order (the churn
+// stream and metric accumulation are order-sensitive).
+func prepareSlot(world *trace.World, tl *fault.Timeline, bySlot [][]trace.Request, churnRng *rand.Rand, opts Options, metrics *Metrics, w *slotWork) {
+	if opts.HotspotChurn > 0 {
+		drawOffline(world, churnRng, opts, metrics, w)
+	}
+	if tl == nil {
+		return
+	}
+	m := len(world.Hotspots)
+	if causes := tl.Causes(w.slot); causes != nil {
+		if w.offline == nil {
+			w.offline = make([]bool, m)
+		}
+		for h, c := range causes {
+			if c == fault.CauseNone {
+				continue
+			}
+			if metrics.FaultOutageSlots == nil {
+				metrics.FaultOutageSlots = make(map[string]int64)
+			}
+			metrics.FaultOutageSlots[c.String()]++
+			if !w.offline[h] {
+				w.offline[h] = true
+				metrics.OfflineHotspotSlots++
+			}
+		}
+	}
+	if w.offline != nil {
+		online := 0
+		for h := range w.offline {
+			if !w.offline[h] {
+				online++
+			}
+		}
+		w.allOffline = online == 0
+	}
+	w.svc = tl.ServiceCapacities(w.slot)
+	w.cache = tl.CacheCapacities(w.slot)
+	if tl.Stale() {
+		w.stale = true
+		w.reportRequests = bySlot[tl.ReportSlot(w.slot)]
+		w.drops = tl.DroppedReports(w.slot)
+	}
 }
 
 // validateRun checks the shared Run/RunParallel inputs.
@@ -379,8 +535,11 @@ func drawOffline(world *trace.World, rng *rand.Rand, opts Options, metrics *Metr
 }
 
 // scheduleSlot builds the slot's context (indexing only online
-// hotspots under churn) and runs one policy scheduling round,
-// recording the assignment and its duration on w.
+// hotspots under churn or faults, degrading capacities, and swapping
+// in the stale reported demand when load reports lag) and runs one
+// policy scheduling round, recording the assignment and its duration
+// on w. Everything it reads from w was fixed by the sequential
+// prepareSlot, so slots may be scheduled concurrently in any order.
 func scheduleSlot(world *trace.World, index *geo.Grid, policy Scheduler, opts Options, w *slotWork) error {
 	slotIndex := index
 	if w.offline != nil {
@@ -394,12 +553,40 @@ func scheduleSlot(world *trace.World, index *geo.Grid, policy Scheduler, opts Op
 	if err != nil {
 		return err
 	}
+	if w.svc != nil {
+		copy(ctx.Capacity, w.svc)
+	}
 	if w.offline != nil {
 		for h := range ctx.Capacity {
 			if w.offline[h] {
 				ctx.Capacity[h] = 0
 			}
 		}
+	}
+	ctx.CacheCapacity = w.cache
+	w.actual = ctx.Demand
+	if w.stale {
+		// The policy schedules against the load report it would have
+		// received: the lagged slot's requests aggregated through
+		// *today's* online index, minus reports lost in flight. The
+		// simulator still serves (and accounts) the true requests.
+		reported := core.NewDemand(len(world.Hotspots))
+		for _, req := range w.reportRequests {
+			h, _, ok := slotIndex.Nearest(req.Location)
+			if !ok {
+				continue
+			}
+			reported.Add(trace.HotspotID(h), req.Video, 1)
+		}
+		if w.drops != nil {
+			for h, dropped := range w.drops {
+				if dropped {
+					reported.Totals[h] = 0
+					reported.PerVideo[h] = nil
+				}
+			}
+		}
+		ctx.Demand = reported
 	}
 	w.ctx = ctx
 
@@ -439,11 +626,13 @@ func applySlot(world *trace.World, opts Options, metrics *Metrics, w *slotWork, 
 		return nil
 	}
 
-	ctx, asg := w.ctx, w.asg
+	asg := w.asg
+	// Load metrics always reflect the true aggregated demand, not the
+	// stale reported view the policy may have scheduled against.
 	for h := 0; h < m; h++ {
-		metrics.PerHotspotLoad[h] += ctx.Demand.Totals[h]
+		metrics.PerHotspotLoad[h] += w.actual.Totals[h]
 		if opts.KeepSlotLoads {
-			metrics.PerHotspotSlotLoad[h][slot] = ctx.Demand.Totals[h]
+			metrics.PerHotspotSlotLoad[h][slot] = w.actual.Totals[h]
 		}
 	}
 
@@ -452,11 +641,17 @@ func applySlot(world *trace.World, opts Options, metrics *Metrics, w *slotWork, 
 	slotReplicasBefore := metrics.Replicas
 
 	// Replication accounting: only newly placed videos cost a push.
+	// Placements are bounded by the slot's effective (possibly
+	// degraded) cache capacities.
 	for h := 0; h < m; h++ {
 		pl := asg.Placement[h]
-		if pl.Len() > world.Hotspots[h].CacheCapacity {
+		cacheCap := world.Hotspots[h].CacheCapacity
+		if w.cache != nil {
+			cacheCap = w.cache[h]
+		}
+		if pl.Len() > cacheCap {
 			return fmt.Errorf("sim: %s slot %d: hotspot %d placement %d exceeds cache %d",
-				metrics.Scheme, slot, h, pl.Len(), world.Hotspots[h].CacheCapacity)
+				metrics.Scheme, slot, h, pl.Len(), cacheCap)
 		}
 		for v := range pl {
 			if prevPlacement[h] == nil || !prevPlacement[h].Contains(v) {
@@ -465,11 +660,15 @@ func applySlot(world *trace.World, opts Options, metrics *Metrics, w *slotWork, 
 		}
 	}
 
-	// Serve requests in order, enforcing placement and capacity
-	// (offline hotspots serve nothing).
+	// Serve requests in order, enforcing placement and effective
+	// capacity (offline hotspots serve nothing; degraded hotspots serve
+	// their scaled-down share).
 	capLeft := make([]int64, m)
 	for h := 0; h < m; h++ {
 		capLeft[h] = world.Hotspots[h].ServiceCapacity
+		if w.svc != nil {
+			capLeft[h] = w.svc[h]
+		}
 		if w.offline != nil && w.offline[h] {
 			capLeft[h] = 0
 		}
@@ -498,7 +697,16 @@ func applySlot(world *trace.World, opts Options, metrics *Metrics, w *slotWork, 
 		return fmt.Errorf("sim: %s slot %d: negative ExtraReplicas %d",
 			metrics.Scheme, slot, asg.ExtraReplicas)
 	}
+	if asg.StrandedDemand < 0 {
+		return fmt.Errorf("sim: %s slot %d: negative StrandedDemand %d",
+			metrics.Scheme, slot, asg.StrandedDemand)
+	}
 	metrics.Replicas += asg.ExtraReplicas
+	metrics.StrandedRequests += asg.StrandedDemand
+	if asg.Degraded {
+		metrics.DegradedRounds++
+		metrics.FallbackServedByCDN += metrics.ServedByCDN - slotCDNBefore
+	}
 
 	if opts.KeepSlotMetrics {
 		sm := SlotMetrics{
