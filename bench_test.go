@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/mcmf"
+	"repro/internal/obs"
 	"repro/internal/predict"
 	"repro/internal/region"
 	"repro/internal/scheme"
@@ -413,6 +414,47 @@ func BenchmarkSchedule(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			params := core.DefaultParams()
 			params.Workers = workers
+			sched, err := core.New(world, params)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sched.Schedule(ctx.Demand); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScheduleObs measures one RBCAer scheduling round with the
+// observability layer off versus fully on (registry counters plus
+// round events) — the disabled variant must stay within noise of the
+// pre-instrumentation hot path, and the enabled delta is the price of
+// a fully observed round.
+func BenchmarkScheduleObs(b *testing.B) {
+	world, tr, _ := benchData(b)
+	index, err := world.Index()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, err := sim.BuildSlotContext(world, index, 0, tr.Requests, stats.SplitRand(1, "bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, enabled := range []bool{false, true} {
+		name := "disabled"
+		if enabled {
+			name = "enabled"
+		}
+		b.Run(name, func(b *testing.B) {
+			params := core.DefaultParams()
+			if enabled {
+				params.Obs = obs.NewRegistry()
+				params.RecordEvents = true
+			}
 			sched, err := core.New(world, params)
 			if err != nil {
 				b.Fatal(err)

@@ -19,10 +19,15 @@
 //	-scale F    world scale in (0, 1]; 1 = paper scale (default 1)
 //	-workers N  scheduling parallelism (0 = all cores, 1 = serial;
 //	            results are identical for every value)
-//	-csv DIR    also write each figure's data as CSV into DIR
+//	-csv DIR    also write each figure's data as CSV into DIR, plus a
+//	            phase-timings.csv profiling each experiment's
+//	            cluster/balance/replicate/simulate phases
+//	-debug-addr ADDR  serve net/http/pprof, expvar, and live metrics on
+//	            ADDR while the experiments run
 package main
 
 import (
+	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
@@ -44,6 +49,7 @@ func run(args []string) error {
 	scale := fs.Float64("scale", 1, "world scale in (0, 1]; 1 reproduces paper scale")
 	workers := fs.Int("workers", 0, "scheduling parallelism (0 = all cores, 1 = serial; results identical)")
 	csvDir := fs.String("csv", "", "also write each figure's data as CSV into this directory")
+	debugAddr := fs.String("debug-addr", "", "serve pprof/expvar/metrics on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -66,11 +72,28 @@ func run(args []string) error {
 
 	runner := crowdcdn.NewExperimentRunner(*seed, *scale)
 	runner.Workers = *workers
+
+	// One registry serves the whole run; per-experiment phase timings
+	// are the deltas between successive snapshots.
+	if *csvDir != "" || *debugAddr != "" {
+		runner.Obs = crowdcdn.NewMetricsRegistry()
+	}
+	if *debugAddr != "" {
+		runner.Tracer = crowdcdn.NewRoundTracer(1<<16, false)
+		_, addr, err := crowdcdn.ServeDebug(*debugAddr, runner.Obs, runner.Tracer)
+		if err != nil {
+			return fmt.Errorf("starting debug server: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "cdnexp: debug server on http://%s/debug/metrics\n", addr)
+	}
+
+	var timings phaseTimings
 	for _, id := range ids {
 		figs, err := runner.Run(id)
 		if err != nil {
 			return err
 		}
+		timings.record(id, runner.Obs)
 		for _, fig := range figs {
 			if err := fig.Render(os.Stdout); err != nil {
 				return err
@@ -82,7 +105,61 @@ func run(args []string) error {
 			}
 		}
 	}
+	if *csvDir != "" {
+		if err := timings.writeCSV(filepath.Join(*csvDir, "phase-timings.csv")); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// phaseTimings accumulates per-experiment scheduling-phase profiles
+// from the runner's registry: each experiment's row is the growth of
+// the cluster/balance/replicate/simulate timers while it ran.
+type phaseTimings struct {
+	rows [][]string
+	prev map[string]int64
+}
+
+var phaseTimerNames = []string{
+	"core.phase.cluster",
+	"core.phase.balance",
+	"core.phase.replicate",
+	"sim.phase.simulate",
+}
+
+func (p *phaseTimings) record(id string, reg *crowdcdn.MetricsRegistry) {
+	if reg == nil {
+		return
+	}
+	cur := make(map[string]int64)
+	for _, tm := range reg.Snapshot(true).Timers {
+		cur[tm.Name] = tm.TotalNs
+	}
+	row := []string{id}
+	for _, name := range phaseTimerNames {
+		row = append(row, fmt.Sprintf("%.6f", float64(cur[name]-p.prev[name])/1e9))
+	}
+	p.rows = append(p.rows, row)
+	p.prev = cur
+}
+
+func (p *phaseTimings) writeCSV(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating %s: %w", path, err)
+	}
+	w := csv.NewWriter(f)
+	w.Write([]string{"experiment", "cluster_seconds", "balance_seconds", "replicate_seconds", "simulate_seconds"})
+	for _, row := range p.rows {
+		w.Write(row)
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return f.Close()
 }
 
 func writeFigureCSV(dir string, fig *crowdcdn.Figure) error {

@@ -17,6 +17,10 @@
 //	-workers N                 scheduling parallelism: 0 uses every core,
 //	                           1 forces serial; results are identical
 //	-json                      emit metrics as JSON instead of text
+//	-debug-addr ADDR           serve net/http/pprof, expvar, and live
+//	                           metrics/events on ADDR during the run
+//	-metrics-out FILE          write a metrics-registry snapshot (JSON)
+//	-events-out FILE           write round/slot trace events (JSONL)
 package main
 
 import (
@@ -47,8 +51,29 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "scheduling parallelism (0 = all cores, 1 = serial; results identical)")
 	churn := fs.Float64("churn", 0, "per-slot probability a hotspot is offline")
 	asJSON := fs.Bool("json", false, "emit metrics as JSON")
+	debugAddr := fs.String("debug-addr", "", "serve pprof/expvar/metrics on this address (e.g. localhost:6060)")
+	metricsOut := fs.String("metrics-out", "", "write a metrics-registry snapshot (JSON) to this file")
+	eventsOut := fs.String("events-out", "", "write round/slot trace events (JSONL) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Observability backends are allocated only when asked for, so the
+	// default path stays instrumentation-free.
+	var reg *crowdcdn.MetricsRegistry
+	var tracer *crowdcdn.RoundTracer
+	if *metricsOut != "" || *debugAddr != "" {
+		reg = crowdcdn.NewMetricsRegistry()
+	}
+	if *eventsOut != "" || *debugAddr != "" {
+		tracer = crowdcdn.NewRoundTracer(1<<16, false)
+	}
+	if *debugAddr != "" {
+		_, addr, err := crowdcdn.ServeDebug(*debugAddr, reg, tracer)
+		if err != nil {
+			return fmt.Errorf("starting debug server: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "cdnsim: debug server on http://%s/debug/metrics\n", addr)
 	}
 
 	world, tr, err := loadOrGenerate(*worldPath, *tracePath, *seed)
@@ -66,6 +91,8 @@ func run(args []string) error {
 	case "rbcaer":
 		params := crowdcdn.DefaultParams()
 		params.Workers = *workers
+		params.Obs = reg
+		params.RecordEvents = tracer != nil
 		newPolicy = func() crowdcdn.Scheduler { return crowdcdn.NewRBCAer(params) }
 		slotIndependent = true
 	case "nearest":
@@ -89,7 +116,7 @@ func run(args []string) error {
 		return fmt.Errorf("unknown scheme %q (want rbcaer, nearest, random, lp, hier, p2c, reactive-lru, or reactive-lfu)", *schemeName)
 	}
 
-	opts := crowdcdn.SimOptions{Seed: *seed, HotspotChurn: *churn}
+	opts := crowdcdn.SimOptions{Seed: *seed, HotspotChurn: *churn, Registry: reg, Tracer: tracer}
 	var m *crowdcdn.Metrics
 	if slotIndependent && tr.Slots > 1 {
 		m, err = crowdcdn.SimulateParallel(world, tr, newPolicy, *workers, opts)
@@ -98,6 +125,17 @@ func run(args []string) error {
 	}
 	if err != nil {
 		return err
+	}
+
+	if *metricsOut != "" {
+		if err := writeMetricsSnapshot(*metricsOut, reg); err != nil {
+			return err
+		}
+	}
+	if *eventsOut != "" {
+		if err := writeEvents(*eventsOut, tracer); err != nil {
+			return err
+		}
 	}
 
 	if *asJSON {
@@ -113,6 +151,12 @@ func run(args []string) error {
 			"replication_cost":       m.ReplicationCost,
 			"cdn_server_load":        m.CDNServerLoad,
 			"scheduling_seconds":     m.SchedulingTime.Seconds(),
+			"wall_seconds":           m.WallTime.Seconds(),
+		}
+		if m.Phases.Total() > 0 {
+			out["phase_cluster_seconds"] = m.Phases.Cluster.Seconds()
+			out["phase_balance_seconds"] = m.Phases.Balance.Seconds()
+			out["phase_replicate_seconds"] = m.Phases.Replicate.Seconds()
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -125,8 +169,36 @@ func run(args []string) error {
 	fmt.Printf("avg access distance:   %.3f km\n", m.AvgAccessDistanceKm)
 	fmt.Printf("replication cost:      %.3f x video set (%d replicas)\n", m.ReplicationCost, m.Replicas)
 	fmt.Printf("CDN server load:       %.4f of original workload\n", m.CDNServerLoad)
-	fmt.Printf("scheduling time:       %v\n", m.SchedulingTime)
+	fmt.Printf("scheduling time:       %v (wall %v)\n", m.SchedulingTime, m.WallTime)
+	if m.Phases.Total() > 0 {
+		fmt.Printf("phase times:           cluster %v, balance %v, replicate %v\n",
+			m.Phases.Cluster, m.Phases.Balance, m.Phases.Replicate)
+	}
 	return nil
+}
+
+func writeMetricsSnapshot(path string, reg *crowdcdn.MetricsRegistry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.Snapshot(true).WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+func writeEvents(path string, tracer *crowdcdn.RoundTracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteJSONL(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return f.Close()
 }
 
 func loadOrGenerate(worldPath, tracePath string, seed int64) (*crowdcdn.World, *crowdcdn.Trace, error) {

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	crowdcdn "repro"
@@ -75,6 +76,40 @@ func TestRunWithOverridesAndChurn(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatalf("run with overrides: %v", err)
+	}
+}
+
+func TestRunObservabilityOutputs(t *testing.T) {
+	worldPath, tracePath := writeTinyWorld(t)
+	dir := t.TempDir()
+	metricsPath := filepath.Join(dir, "metrics.json")
+	eventsPath := filepath.Join(dir, "events.jsonl")
+	err := run([]string{
+		"-world", worldPath, "-trace", tracePath,
+		"-scheme", "rbcaer", "-json",
+		"-debug-addr", "127.0.0.1:0",
+		"-metrics-out", metricsPath, "-events-out", eventsPath,
+	})
+	if err != nil {
+		t.Fatalf("run with observability flags: %v", err)
+	}
+	snap, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"core.rounds", "sim.requests_total", "timers"} {
+		if !strings.Contains(string(snap), want) {
+			t.Errorf("metrics snapshot missing %q", want)
+		}
+	}
+	events, err := os.ReadFile(eventsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"type":"round"`, `"type":"slot"`, `"type":"theta-iter"`} {
+		if !strings.Contains(string(events), want) {
+			t.Errorf("event stream missing %q", want)
+		}
 	}
 }
 

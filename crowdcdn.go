@@ -29,11 +29,13 @@ package crowdcdn
 
 import (
 	"io"
+	"net/http"
 
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/fault"
 	"repro/internal/geo"
+	"repro/internal/obs"
 	"repro/internal/predict"
 	"repro/internal/region"
 	"repro/internal/scheme"
@@ -111,6 +113,45 @@ type (
 	// StaleReports lags and thins the demand reports policies see.
 	StaleReports = fault.StaleReports
 )
+
+// Observability (see internal/obs and DESIGN.md §8). A Registry and a
+// Tracer plug into SimOptions (and Params.Obs for RBCAer round
+// counters); their deterministic outputs — Snapshot(false) and a
+// dropTimings tracer's event stream — are byte-identical across worker
+// counts on a fixed seed.
+type (
+	// MetricsRegistry collects named counters, gauges, histograms, and
+	// timers from a run.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a sorted, serialisable view of a registry.
+	MetricsSnapshot = obs.Snapshot
+	// RoundTracer records per-round / per-slot structured events into a
+	// bounded ring buffer.
+	RoundTracer = obs.Tracer
+	// TraceEvent is one recorded scheduling event.
+	TraceEvent = obs.Event
+	// PhaseTimings splits a scheduling round's wall time into the
+	// cluster / balance / replicate phases.
+	PhaseTimings = obs.PhaseTimings
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewRoundTracer returns a ring-buffered tracer holding up to capacity
+// events (0 selects the default). dropTimings strips wall-clock
+// duration attributes so the stream stays deterministic.
+func NewRoundTracer(capacity int, dropTimings bool) *RoundTracer {
+	return obs.NewTracer(capacity, dropTimings)
+}
+
+// ServeDebug starts an HTTP server on addr exposing net/http/pprof
+// profiles, expvar, and the registry/tracer contents (see
+// internal/obs). It returns the server and its actual address
+// (addr may use port 0).
+func ServeDebug(addr string, reg *MetricsRegistry, tr *RoundTracer) (*http.Server, string, error) {
+	return obs.ServeDebug(addr, reg, tr)
+}
 
 // CDN is the simulator's sentinel target meaning "served by the origin
 // CDN server".

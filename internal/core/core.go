@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/mcmf"
+	"repro/internal/obs"
 	"repro/internal/similarity"
 	"repro/internal/trace"
 )
@@ -117,6 +118,18 @@ type Params struct {
 	// The fan-out uses fixed work partitions writing into disjoint
 	// preallocated ranges, so plans are identical for every value.
 	Workers int
+
+	// Obs, when non-nil, receives the round's metrics: logical
+	// counters and histograms (deterministic for any Workers count)
+	// plus wall-clock phase timers (core.phase.*, nondeterministic and
+	// excluded from the registry's deterministic snapshot). Nil
+	// disables metric publication at zero cost on the hot path.
+	Obs *obs.Registry
+	// RecordEvents, when set, makes every round record its structured
+	// trace events (θ-sweep iterations, MCMF solve outcomes, degraded
+	// transitions, round summary) into Plan.Events for a tracer to
+	// flush. Off (the zero value) skips event assembly entirely.
+	RecordEvents bool
 }
 
 // DefaultParams returns the paper's evaluation parameters:
@@ -309,6 +322,17 @@ type Stats struct {
 	DistanceCalcs int64
 	// Replicas is the total number of video placements produced.
 	Replicas int64
+	// Omega1Km is the round's realised access-latency cost Ω1 in
+	// distance units: Σ over redirects of count·d(from, to) plus
+	// Σ over hotspots of OverflowToCDN[h]·CDNDistanceKm. Requests
+	// served at their own aggregation hotspot contribute 0. The
+	// paper's replication cost Ω2 is Stats.Replicas.
+	Omega1Km float64
+	// Phases is the round's wall-clock breakdown into the cluster /
+	// balance / replicate phases. Populated only when observability is
+	// enabled (Params.Obs or Params.RecordEvents); wall-clock values
+	// are nondeterministic and never enter the determinism contract.
+	Phases obs.PhaseTimings
 }
 
 // Plan is the output of one scheduling round.
@@ -329,4 +353,8 @@ type Plan struct {
 	Degraded bool
 	// Stats summarises the round.
 	Stats Stats
+	// Events is the round's structured trace, recorded in emission
+	// order when Params.RecordEvents is set (nil otherwise). Slot
+	// numbers are stamped by whoever flushes them to an obs.Tracer.
+	Events []obs.Event
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/geo"
 	"repro/internal/mcmf"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/trace"
 )
@@ -154,6 +155,7 @@ func (s *Scheduler) ScheduleRound(d *Demand, cons Constraints) (*Plan, error) {
 	overDeadline := func() bool {
 		return s.params.Deadline > 0 && time.Since(start) >= s.params.Deadline
 	}
+	ro := newRoundObs(s.params)
 
 	over, under, phiOver, phiUnder := s.partition(d, svc)
 	var stats Stats
@@ -174,6 +176,7 @@ func (s *Scheduler) ScheduleRound(d *Demand, cons Constraints) (*Plan, error) {
 
 	var clusterOf []int
 	if !s.params.DisableGuides {
+		t0 := ro.now()
 		var nClusters int
 		var err error
 		clusterOf, nClusters, err = s.contentClusters(d)
@@ -181,6 +184,13 @@ func (s *Scheduler) ScheduleRound(d *Demand, cons Constraints) (*Plan, error) {
 			return nil, err
 		}
 		stats.Clusters = nClusters
+		stats.Phases.Cluster = ro.since(t0)
+		ro.emit("cluster",
+			obs.I("clusters", int64(nClusters)),
+			obs.I("overloaded", int64(stats.Overloaded)),
+			obs.I("underutilized", int64(stats.Underutilized)),
+			obs.I("max_flow", stats.MaxFlow),
+			obs.D("dur", stats.Phases.Cluster))
 	}
 
 	flows := make(map[int64]int64)
@@ -189,8 +199,11 @@ func (s *Scheduler) ScheduleRound(d *Demand, cons Constraints) (*Plan, error) {
 	// The over×under distances are fixed for the whole round: compute
 	// them once and share the cache across every θ iteration and the
 	// residual Gd pass.
+	tBalance := ro.now()
 	dcache := s.newDistCache(over, under, par.Workers(s.params.Workers))
 	stats.DistanceCalcs = dcache.calcs()
+
+	var mcmfPaths int64
 
 	// θ sweep over the content-aggregation network Gc (Algorithm 1,
 	// lines 5-10). The sweep is driven by integer step index so float
@@ -202,11 +215,16 @@ func (s *Scheduler) ScheduleRound(d *Demand, cons Constraints) (*Plan, error) {
 		if overDeadline() {
 			stats.Degraded = true
 			stats.DeadlineExceeded = true
+			ro.emit("deadline", obs.F("theta", theta))
 			break
 		}
+		tIter := ro.now()
 		nb := s.buildNetwork(theta, over, under, phiOver, phiUnder, dcache, clusterOf, !s.params.DisableGuides)
 		stats.DirectEdges += nb.directPairs
 		stats.GuideNodes += nb.guideNodes
+		var extracted int64
+		var paths int64
+		var recovered int64
 		if len(nb.edges) > 0 {
 			res, err := safeSolve(nb.g, nb.source, nb.sink, stats.MaxFlow-moved, s.params.Algorithm)
 			if err != nil {
@@ -214,45 +232,72 @@ func (s *Scheduler) ScheduleRound(d *Demand, cons Constraints) (*Plan, error) {
 				// falls back to the CDN with the rest of the surplus.
 				stats.Degraded = true
 				stats.RecoveredErrors++
-				stats.Iterations++
-				continue
+				recovered = 1
+			} else {
+				extracted = s.extractFlows(nb, flows, phiOver, phiUnder)
+				if extracted != res.Flow {
+					// Attribution mismatch: trust the extracted flows (they
+					// reflect the edges actually carrying flow, and φ was
+					// decremented to match) and degrade instead of failing.
+					stats.Degraded = true
+					stats.RecoveredErrors++
+					recovered = 1
+				}
+				paths = int64(res.Paths)
+				mcmfPaths += paths
+				moved += extracted
 			}
-			extracted := s.extractFlows(nb, flows, phiOver, phiUnder)
-			if extracted != res.Flow {
-				// Attribution mismatch: trust the extracted flows (they
-				// reflect the edges actually carrying flow, and φ was
-				// decremented to match) and degrade instead of failing.
-				stats.Degraded = true
-				stats.RecoveredErrors++
-			}
-			moved += extracted
 		}
 		stats.Iterations++
+		ro.emit("theta-iter",
+			obs.F("theta", theta),
+			obs.I("direct_pairs", int64(nb.directPairs)),
+			obs.I("guide_nodes", int64(nb.guideNodes)),
+			obs.I("moved", extracted),
+			obs.I("paths", paths),
+			obs.I("recovered", recovered),
+			obs.D("dur", ro.since(tIter)))
 	}
 
 	// Residual pass on the plain balancing network Gd (Algorithm 1,
 	// lines 11-13): move whatever the guided rounds left behind.
 	if moved < stats.MaxFlow && !overDeadline() {
+		tRes := ro.now()
 		nb := s.buildNetwork(s.params.Theta2, over, under, phiOver, phiUnder, dcache, nil, false)
+		var extracted int64
+		var paths int64
+		var recovered int64
 		if len(nb.edges) > 0 {
 			res, err := safeSolve(nb.g, nb.source, nb.sink, stats.MaxFlow-moved, s.params.Algorithm)
 			if err != nil {
 				stats.Degraded = true
 				stats.RecoveredErrors++
+				recovered = 1
 			} else {
-				extracted := s.extractFlows(nb, flows, phiOver, phiUnder)
+				extracted = s.extractFlows(nb, flows, phiOver, phiUnder)
 				if extracted != res.Flow {
 					stats.Degraded = true
 					stats.RecoveredErrors++
+					recovered = 1
 				}
+				paths = int64(res.Paths)
+				mcmfPaths += paths
 				moved += extracted
 			}
 		}
+		ro.emit("residual-pass",
+			obs.I("direct_pairs", int64(nb.directPairs)),
+			obs.I("moved", extracted),
+			obs.I("paths", paths),
+			obs.I("recovered", recovered),
+			obs.D("dur", ro.since(tRes)))
 	} else if moved < stats.MaxFlow && overDeadline() {
 		stats.Degraded = true
 		stats.DeadlineExceeded = true
+		ro.emit("deadline", obs.F("theta", s.params.Theta2))
 	}
 	stats.MovedFlow = moved
+	stats.Phases.Balance = ro.since(tBalance)
 
 	// Whatever surplus remains unmovable within θ2 goes to the origin
 	// CDN server (Algorithm 1, line 14).
@@ -263,12 +308,14 @@ func (s *Scheduler) ScheduleRound(d *Demand, cons Constraints) (*Plan, error) {
 
 	// Procedure 1: realise flows into per-video redirects and build
 	// the placement.
+	tRep := ro.now()
 	redirects, placement, unrealized, replicas, err := s.replicate(d, flows, svc, cache)
 	if err != nil {
 		return nil, err
 	}
 	stats.UnrealizedFlow = unrealized
 	stats.Replicas = replicas
+	stats.Phases.Replicate = ro.since(tRep)
 
 	// Unrealised flow stays at its overloaded source and therefore
 	// also falls back to the CDN.
@@ -285,6 +332,28 @@ func (s *Scheduler) ScheduleRound(d *Demand, cons Constraints) (*Plan, error) {
 	for _, o := range overflow {
 		stats.StrandedToCDN += o
 	}
+	stats.Omega1Km = s.omega1(redirects, stats.StrandedToCDN, over, under, dcache)
+
+	if stats.Degraded {
+		ro.emit("degraded",
+			obs.I("recovered_errors", int64(stats.RecoveredErrors)),
+			obs.I("deadline_exceeded", boolAttr(stats.DeadlineExceeded)))
+	}
+	ro.emit("round",
+		obs.I("max_flow", stats.MaxFlow),
+		obs.I("moved", stats.MovedFlow),
+		obs.I("unrealized", stats.UnrealizedFlow),
+		obs.I("stranded", stats.StrandedToCDN),
+		obs.I("replicas", stats.Replicas),
+		obs.I("redirects", int64(len(redirects))),
+		obs.I("iterations", int64(stats.Iterations)),
+		obs.I("mcmf_paths", mcmfPaths),
+		obs.F("omega1_km", stats.Omega1Km),
+		obs.I("degraded", boolAttr(stats.Degraded)),
+		obs.D("cluster_dur", stats.Phases.Cluster),
+		obs.D("balance_dur", stats.Phases.Balance),
+		obs.D("replicate_dur", stats.Phases.Replicate))
+	publishRound(s.params.Obs, &stats, mcmfPaths)
 
 	plan := &Plan{
 		Flows:         flowEdges(flows, realized, m),
@@ -293,8 +362,41 @@ func (s *Scheduler) ScheduleRound(d *Demand, cons Constraints) (*Plan, error) {
 		OverflowToCDN: overflow,
 		Degraded:      stats.Degraded,
 		Stats:         stats,
+		Events:        ro.events,
 	}
 	return plan, nil
+}
+
+// boolAttr renders a bool as a 0/1 event attribute value.
+func boolAttr(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// omega1 computes the round's realised access-latency cost Ω1: every
+// redirected request pays the inter-hotspot distance (reusing the
+// round's distance cache, so no extra geo evaluations), every
+// CDN-stranded request pays CDNDistanceKm, and locally served requests
+// pay 0. The summation order is fixed (redirect slice order, then the
+// stranded total), keeping the value deterministic.
+func (s *Scheduler) omega1(redirects []Redirect, stranded int64, over, under []int, dcache *distCache) float64 {
+	var sum float64
+	if len(redirects) > 0 {
+		oIdx := make(map[int]int, len(over))
+		for oi, h := range over {
+			oIdx[h] = oi
+		}
+		uIdx := make(map[int]int, len(under))
+		for uj, h := range under {
+			uIdx[h] = uj
+		}
+		for _, r := range redirects {
+			sum += float64(r.Count) * dcache.at(oIdx[int(r.From)], uIdx[int(r.To)])
+		}
+	}
+	return sum + float64(stranded)*s.world.CDNDistanceKm
 }
 
 // worldCacheCapacities returns the nominal per-hotspot cache

@@ -106,7 +106,7 @@ func (r *Runner) sweep(idPrefix, sweepName, xLabel string, xs []float64,
 	for _, x := range xs {
 		world := configure(baseWorld, x)
 		for p, policy := range policies {
-			m, err := sim.Run(world, tr, policy, sim.Options{Seed: r.Seed})
+			m, err := sim.Run(world, tr, policy, r.simOpts())
 			if err != nil {
 				return nil, fmt.Errorf("exp: %s at %s=%v with %s: %w",
 					sweepName, xLabel, x, policy.Name(), err)

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -148,6 +149,14 @@ type Runner struct {
 	// 0 selects runtime.GOMAXPROCS(0); 1 forces serial runs. Results
 	// are identical for every value.
 	Workers int
+	// Obs, when set, receives every simulation's counters and the
+	// cluster/balance/replicate/simulate phase timers across the
+	// runner's experiments (RBCAer rounds publish their core.* counters
+	// to it too).
+	Obs *obs.Registry
+	// Tracer, when set, records round and slot events from every
+	// simulation the experiments run.
+	Tracer *obs.Tracer
 
 	evalWorld *trace.World
 	evalTrace *trace.Trace
@@ -156,11 +165,19 @@ type Runner struct {
 }
 
 // coreParams returns the paper's default RBCAer parameters with the
-// runner's parallelism applied.
+// runner's parallelism and observability applied.
 func (r *Runner) coreParams() core.Params {
 	p := core.DefaultParams()
 	p.Workers = r.Workers
+	p.Obs = r.Obs
+	p.RecordEvents = r.Tracer != nil
 	return p
+}
+
+// simOpts returns the runner's base simulation options: its seed plus
+// the shared observability backends.
+func (r *Runner) simOpts() sim.Options {
+	return sim.Options{Seed: r.Seed, Registry: r.Obs, Tracer: r.Tracer}
 }
 
 // runPolicy replays the trace under one policy instance from the

@@ -102,11 +102,11 @@ func (r *Runner) ExtHierarchical() (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		flat, err := sim.Run(world, tr, scheme.NewRBCAer(r.coreParams()), sim.Options{Seed: r.Seed})
+		flat, err := sim.Run(world, tr, scheme.NewRBCAer(r.coreParams()), r.simOpts())
 		if err != nil {
 			return nil, fmt.Errorf("exp: ext-hier flat at %dx: %w", mult, err)
 		}
-		hier, err := sim.Run(world, tr, region.NewPolicy(3.0), sim.Options{Seed: r.Seed})
+		hier, err := sim.Run(world, tr, region.NewPolicy(3.0), r.simOpts())
 		if err != nil {
 			return nil, fmt.Errorf("exp: ext-hier hierarchical at %dx: %w", mult, err)
 		}
@@ -153,7 +153,9 @@ func (r *Runner) ExtChurn() (*Figure, error) {
 	series := make(map[string][]float64)
 	for _, churn := range churns {
 		for _, policy := range policies() {
-			m, err := sim.Run(world, tr, policy, sim.Options{Seed: r.Seed, HotspotChurn: churn})
+			opts := r.simOpts()
+			opts.HotspotChurn = churn
+			m, err := sim.Run(world, tr, policy, opts)
 			if err != nil {
 				return nil, fmt.Errorf("exp: ext-churn %s at %v: %w", policy.Name(), churn, err)
 			}
@@ -207,7 +209,7 @@ func (r *Runner) ExtReactive() (*Figure, error) {
 		YLabel: "value",
 	}
 	for _, policy := range policies {
-		m, err := r.runPolicy(world, tr, policy.make, policy.independent, sim.Options{Seed: r.Seed})
+		m, err := r.runPolicy(world, tr, policy.make, policy.independent, r.simOpts())
 		if err != nil {
 			return nil, fmt.Errorf("exp: ext-reactive %s: %w", policy.make().Name(), err)
 		}
@@ -243,7 +245,7 @@ func (r *Runner) ablate(id, what string, variants []ablVariant) ([]*Figure, erro
 	for _, v := range variants {
 		params := r.coreParams()
 		v.mut(&params)
-		m, err := sim.Run(world, tr, scheme.NewRBCAer(params), sim.Options{Seed: r.Seed})
+		m, err := sim.Run(world, tr, scheme.NewRBCAer(params), r.simOpts())
 		if err != nil {
 			return nil, fmt.Errorf("exp: %s variant %s: %w", id, v.name, err)
 		}
@@ -305,7 +307,7 @@ func (r *Runner) AblatePrediction() (*Figure, error) {
 		YLabel: "value",
 	}
 	for _, v := range variants {
-		m, err := r.runPolicy(world, tr, v.policy, v.independent, sim.Options{Seed: r.Seed})
+		m, err := r.runPolicy(world, tr, v.policy, v.independent, r.simOpts())
 		if err != nil {
 			return nil, fmt.Errorf("exp: abl-prediction %s: %w", v.name, err)
 		}

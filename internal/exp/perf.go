@@ -59,7 +59,7 @@ func (r *Runner) Fig8() (*Figure, error) {
 		// Level the playing field: the LP's large tableaux would
 		// otherwise tax later schemes' timings through GC pressure.
 		runtime.GC()
-		m, err := sim.Run(world, tr, e.policy, sim.Options{Seed: r.Seed})
+		m, err := sim.Run(world, tr, e.policy, r.simOpts())
 		if err != nil {
 			return nil, fmt.Errorf("exp: fig8 with %s: %w", e.label, err)
 		}
@@ -104,7 +104,7 @@ func (r *Runner) AblWorkers() (*Figure, error) {
 	for _, w := range []int{1, full} {
 		p := core.DefaultParams()
 		p.Workers = w
-		m, err := sim.Run(world, tr, scheme.NewRBCAer(p), sim.Options{Seed: r.Seed})
+		m, err := sim.Run(world, tr, scheme.NewRBCAer(p), r.simOpts())
 		if err != nil {
 			return nil, fmt.Errorf("exp: abl-workers at %d workers: %w", w, err)
 		}
@@ -135,13 +135,13 @@ func (r *Runner) AblWorkers() (*Figure, error) {
 	}
 	newPolicy := func() sim.Scheduler { return scheme.NewRBCAer(r.coreParams()) }
 	start := time.Now()
-	serial, err := sim.Run(mw, mtr, newPolicy(), sim.Options{Seed: r.Seed})
+	serial, err := sim.Run(mw, mtr, newPolicy(), r.simOpts())
 	if err != nil {
 		return nil, fmt.Errorf("exp: abl-workers sequential slots: %w", err)
 	}
 	serialWall := time.Since(start)
 	start = time.Now()
-	parallel, err := sim.RunParallel(mw, mtr, newPolicy, full, sim.Options{Seed: r.Seed})
+	parallel, err := sim.RunParallel(mw, mtr, newPolicy, full, r.simOpts())
 	if err != nil {
 		return nil, fmt.Errorf("exp: abl-workers concurrent slots: %w", err)
 	}

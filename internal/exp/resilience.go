@@ -153,7 +153,8 @@ func (r *Runner) Resilience() ([]*Figure, error) {
 		serving := make(map[string][]float64)
 		var worst *sim.Metrics // RBCAer at the highest intensity
 		for li := range fam.levels {
-			opts := sim.Options{Seed: r.Seed, Faults: fam.scenario(li)}
+			opts := r.simOpts()
+			opts.Faults = fam.scenario(li)
 			for _, pol := range policies {
 				m, err := r.runPolicy(world, tr, pol.make, true, opts)
 				if err != nil {

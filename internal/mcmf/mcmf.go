@@ -158,8 +158,9 @@ func (g *Graph) Reset() {
 
 // Result reports the outcome of a flow computation.
 type Result struct {
-	Flow int64   // total flow pushed from source to sink
-	Cost float64 // total cost of that flow
+	Flow  int64   // total flow pushed from source to sink
+	Cost  float64 // total cost of that flow
+	Paths int     // number of augmenting paths used to push that flow
 }
 
 // MinCostMaxFlow pushes the maximum feasible flow from source to sink
@@ -284,6 +285,7 @@ func (g *Graph) solveDijkstra(source, sink int, limit int64) (Result, error) {
 			v = int(g.arcs[ai^1].to)
 		}
 		res.Flow += push
+		res.Paths++
 	}
 	return res, nil
 }
@@ -351,6 +353,7 @@ func (g *Graph) solveBellmanFord(source, sink int, limit int64) (Result, error) 
 			v = int(g.arcs[ai^1].to)
 		}
 		res.Flow += push
+		res.Paths++
 	}
 	return res, nil
 }

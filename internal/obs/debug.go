@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ServeDebug starts an HTTP debug server on addr (host:port; use
+// ":0" for an ephemeral port) exposing:
+//
+//	/debug/pprof/...   net/http/pprof profiles
+//	/debug/vars        expvar
+//	/debug/metrics     the registry snapshot as JSON (with timers)
+//	/debug/events      the tracer's retained events as JSONL
+//
+// reg and tr may be nil; the corresponding endpoints then serve empty
+// documents. The server runs on its own mux (it does not touch
+// http.DefaultServeMux) and its goroutine exits when the returned
+// *http.Server is Closed or Shutdown. The second return value is the
+// address actually listened on.
+func ServeDebug(addr string, reg *Registry, tr *Tracer) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.Snapshot(true).WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = tr.WriteJSONL(w)
+	})
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}

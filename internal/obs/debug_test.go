@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestServeDebug(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("core.rounds").Add(3)
+	reg.Timer("core.phase.balance").Observe(time.Millisecond)
+	tr := NewTracer(8, false)
+	tr.Emit(Event{Type: "round", Slot: 0, Attrs: []Attr{I("moved", 5)}})
+
+	srv, addr, err := ServeDebug("127.0.0.1:0", reg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return string(b)
+	}
+
+	if body := get("/debug/metrics"); !strings.Contains(body, `"core.rounds"`) ||
+		!strings.Contains(body, `"core.phase.balance"`) {
+		t.Fatalf("/debug/metrics:\n%s", body)
+	}
+	if body := get("/debug/events"); !strings.Contains(body, `"type":"round"`) {
+		t.Fatalf("/debug/events:\n%s", body)
+	}
+	if body := get("/debug/vars"); !strings.Contains(body, "cmdline") {
+		t.Fatalf("/debug/vars:\n%s", body)
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/:\n%s", body)
+	}
+}
+
+func TestServeDebugNilBackends(t *testing.T) {
+	srv, addr, err := ServeDebug("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,57 @@
+// Package obs is the repository's dependency-free observability layer:
+// a typed metrics registry (counters, gauges, histograms with fixed
+// bucket layouts, wall-clock timers), a structured per-round trace
+// recorder with a ring-buffer cap, and an opt-in pprof/expvar debug
+// server. Everything is safe for concurrent use and nil-safe — a nil
+// *Registry, *Tracer, or instrument accepts every call as a no-op, so
+// instrumented hot paths cost a nil check when observability is
+// disabled.
+//
+// # Determinism contract
+//
+// The scheduler's reproducibility guarantee (identical plans and
+// metrics for every Workers count, see internal/core and internal/sim)
+// extends to this layer:
+//
+//   - counters, gauges, and histograms record logical quantities
+//     (flow units, replicas, iterations, ...) via commutative atomic
+//     updates, so Snapshot(false) — the deterministic snapshot — is
+//     byte-identical for any worker count and any goroutine
+//     interleaving of the same workload;
+//   - wall-clock state (timers, and duration-kind event attributes) is
+//     inherently nondeterministic and therefore segregated: timers
+//     appear only in Snapshot(true), and a Tracer constructed with
+//     dropTimings=true drops duration attributes at emit, making the
+//     JSONL event stream byte-identical as well;
+//   - trace events are ordered by the emitting code, which must emit
+//     them from a sequential section (the simulator flushes per-round
+//     events in slot order from its sequential epilogue).
+package obs
+
+import "time"
+
+// PhaseTimings is the wall-clock breakdown of one scheduling round (or
+// an accumulation of rounds) into the scheduler's phases: content
+// clustering, request balancing (the θ sweep plus the residual pass),
+// and replication (Procedure 1). The simulate phase — everything
+// around the per-round scheduling, i.e. the total run wall clock — is
+// tracked separately by the simulator.
+type PhaseTimings struct {
+	Cluster   time.Duration
+	Balance   time.Duration
+	Replicate time.Duration
+}
+
+// Add returns the field-wise sum of p and q.
+func (p PhaseTimings) Add(q PhaseTimings) PhaseTimings {
+	return PhaseTimings{
+		Cluster:   p.Cluster + q.Cluster,
+		Balance:   p.Balance + q.Balance,
+		Replicate: p.Replicate + q.Replicate,
+	}
+}
+
+// Total returns the summed duration of all phases.
+func (p PhaseTimings) Total() time.Duration {
+	return p.Cluster + p.Balance + p.Replicate
+}

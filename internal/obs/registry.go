@@ -1,0 +1,343 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. A nil *Counter
+// accepts every call as a no-op.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value. A nil *Gauge accepts every
+// call as a no-op.
+type Gauge struct{ v atomic.Int64 }
+
+// Set records the current value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Value returns the last recorded value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts integer observations into a fixed bucket layout so
+// its snapshot is deterministic: bucket i counts observations <=
+// bounds[i], with one implicit overflow bucket above the last bound.
+// Updates are commutative atomic adds, so concurrent observation from
+// worker goroutines yields the same snapshot as serial observation. A
+// nil *Histogram accepts every call as a no-op.
+type Histogram struct {
+	bounds  []int64
+	buckets []atomic.Int64 // len(bounds)+1; last is the overflow bucket
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 on nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Timer accumulates wall-clock durations. Timers are the registry's
+// nondeterministic instruments: they appear only in Snapshot(true) and
+// never in the deterministic snapshot. A nil *Timer accepts every call
+// as a no-op.
+type Timer struct {
+	ns    atomic.Int64
+	count atomic.Int64
+}
+
+// Observe records one duration.
+func (t *Timer) Observe(d time.Duration) {
+	if t != nil {
+		t.ns.Add(int64(d))
+		t.count.Add(1)
+	}
+}
+
+// Total returns the accumulated duration (0 on nil).
+func (t *Timer) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.ns.Load())
+}
+
+// Count returns the number of observations (0 on nil).
+func (t *Timer) Count() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.count.Load()
+}
+
+// PowersOf2Buckets returns the fixed bucket layout 1, 2, 4, ... 2^(n-1)
+// — the registry's standard layout for count-like observations (flow
+// units per round, replicas per round, ...). A fixed layout keeps
+// histogram snapshots comparable across runs and code versions.
+func PowersOf2Buckets(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = 1 << uint(i)
+	}
+	return out
+}
+
+// Registry is a process-wide named-instrument registry. Instruments are
+// created on first use and live for the registry's lifetime; lookups
+// take a mutex but the returned instruments update lock-free, so hot
+// paths should resolve instruments once and reuse them. A nil
+// *Registry returns nil instruments from every getter, which in turn
+// no-op — disabling observability is passing a nil registry.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	timers   map[string]*Timer
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		timers:   make(map[string]*Timer),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use (bounds must be sorted ascending; later
+// calls reuse the existing layout and ignore bounds).
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		b := make([]int64, len(bounds))
+		copy(b, bounds)
+		h = &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Timer returns the named timer, creating it on first use.
+func (r *Registry) Timer(name string) *Timer {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.timers[name]
+	if !ok {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// CounterSnap is one counter in a snapshot.
+type CounterSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnap is one gauge in a snapshot.
+type GaugeSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// HistSnap is one histogram in a snapshot. Buckets[i] counts
+// observations <= Bounds[i]; Buckets[len(Bounds)] is the overflow
+// bucket.
+type HistSnap struct {
+	Name    string  `json:"name"`
+	Bounds  []int64 `json:"bounds"`
+	Buckets []int64 `json:"buckets"`
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+}
+
+// TimerSnap is one wall-clock timer in a snapshot.
+type TimerSnap struct {
+	Name    string `json:"name"`
+	TotalNs int64  `json:"total_ns"`
+	Count   int64  `json:"count"`
+}
+
+// Snapshot is a point-in-time copy of a registry, sorted by instrument
+// name so that rendering it is deterministic.
+type Snapshot struct {
+	Counters   []CounterSnap `json:"counters"`
+	Gauges     []GaugeSnap   `json:"gauges,omitempty"`
+	Histograms []HistSnap    `json:"histograms,omitempty"`
+	Timers     []TimerSnap   `json:"timers,omitempty"`
+}
+
+// Snapshot copies the registry's current state. With withTimings false
+// it returns the deterministic snapshot — counters, gauges, and
+// histograms only — which is byte-identical (via WriteJSON) for any
+// worker count scheduling the same workload. withTimings true adds the
+// wall-clock timers. A nil registry yields an empty snapshot.
+func (r *Registry) Snapshot(withTimings bool) Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterSnap{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: name, Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		hs := HistSnap{
+			Name:    name,
+			Bounds:  append([]int64(nil), h.bounds...),
+			Buckets: make([]int64, len(h.buckets)),
+			Count:   h.Count(),
+			Sum:     h.Sum(),
+		}
+		for i := range h.buckets {
+			hs.Buckets[i] = h.buckets[i].Load()
+		}
+		s.Histograms = append(s.Histograms, hs)
+	}
+	if withTimings {
+		for name, t := range r.timers {
+			s.Timers = append(s.Timers, TimerSnap{Name: name, TotalNs: int64(t.Total()), Count: t.Count()})
+		}
+	}
+	sort.Slice(s.Counters, func(a, b int) bool { return s.Counters[a].Name < s.Counters[b].Name })
+	sort.Slice(s.Gauges, func(a, b int) bool { return s.Gauges[a].Name < s.Gauges[b].Name })
+	sort.Slice(s.Histograms, func(a, b int) bool { return s.Histograms[a].Name < s.Histograms[b].Name })
+	sort.Slice(s.Timers, func(a, b int) bool { return s.Timers[a].Name < s.Timers[b].Name })
+	return s
+}
+
+// WriteJSON renders the snapshot as indented JSON. The encoding is
+// deterministic: instruments are pre-sorted by name and all values are
+// integers.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteText renders the snapshot as aligned "name value" lines, timers
+// as seconds.
+func (s Snapshot) WriteText(w io.Writer) error {
+	for _, c := range s.Counters {
+		if _, err := fmt.Fprintf(w, "counter %-40s %d\n", c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if _, err := fmt.Fprintf(w, "gauge   %-40s %d\n", g.Name, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		if _, err := fmt.Fprintf(w, "hist    %-40s count=%d sum=%d\n", h.Name, h.Count, h.Sum); err != nil {
+			return err
+		}
+	}
+	for _, t := range s.Timers {
+		if _, err := fmt.Fprintf(w, "timer   %-40s %.6fs n=%d\n",
+			t.Name, time.Duration(t.TotalNs).Seconds(), t.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

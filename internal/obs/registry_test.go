@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatalf("nil counter value = %d", c.Value())
+	}
+	g := r.Gauge("x")
+	g.Set(7)
+	if g.Value() != 0 {
+		t.Fatalf("nil gauge value = %d", g.Value())
+	}
+	h := r.Histogram("x", PowersOf2Buckets(4))
+	h.Observe(5)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("nil histogram count=%d sum=%d", h.Count(), h.Sum())
+	}
+	tm := r.Timer("x")
+	tm.Observe(time.Second)
+	if tm.Total() != 0 || tm.Count() != 0 {
+		t.Fatalf("nil timer total=%v count=%d", tm.Total(), tm.Count())
+	}
+	s := r.Snapshot(true)
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms)+len(s.Timers) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+}
+
+func TestRegistryInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("rounds")
+	c.Add(2)
+	c.Inc()
+	if got := r.Counter("rounds").Value(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	g := r.Gauge("slots")
+	g.Set(4)
+	g.Set(9)
+	if got := r.Gauge("slots").Value(); got != 9 {
+		t.Fatalf("gauge = %d, want 9", got)
+	}
+	tm := r.Timer("phase")
+	tm.Observe(2 * time.Millisecond)
+	tm.Observe(3 * time.Millisecond)
+	if tm.Total() != 5*time.Millisecond || tm.Count() != 2 {
+		t.Fatalf("timer total=%v count=%d", tm.Total(), tm.Count())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("flow", []int64{1, 2, 4, 8})
+	for _, v := range []int64{0, 1, 2, 3, 5, 8, 9, 100} {
+		h.Observe(v)
+	}
+	s := r.Snapshot(false)
+	if len(s.Histograms) != 1 {
+		t.Fatalf("histograms = %d", len(s.Histograms))
+	}
+	hs := s.Histograms[0]
+	// <=1: {0,1}; <=2: {2}; <=4: {3}; <=8: {5,8}; overflow: {9,100}
+	want := []int64{2, 1, 1, 2, 2}
+	if len(hs.Buckets) != len(want) {
+		t.Fatalf("buckets = %v", hs.Buckets)
+	}
+	for i, w := range want {
+		if hs.Buckets[i] != w {
+			t.Fatalf("bucket[%d] = %d, want %d (all: %v)", i, hs.Buckets[i], w, hs.Buckets)
+		}
+	}
+	if hs.Count != 8 || hs.Sum != 128 {
+		t.Fatalf("count=%d sum=%d", hs.Count, hs.Sum)
+	}
+}
+
+func TestPowersOf2Buckets(t *testing.T) {
+	got := PowersOf2Buckets(5)
+	want := []int64{1, 2, 4, 8, 16}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestSnapshotDeterministic asserts the determinism contract at the
+// registry level: concurrent commutative updates from many goroutines
+// produce the exact same deterministic snapshot bytes as serial
+// updates, and timers appear only when requested.
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func(workers int) *Registry {
+		r := NewRegistry()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < 1000; i += workers {
+					r.Counter("moved").Add(int64(i))
+					r.Histogram("flow", PowersOf2Buckets(10)).Observe(int64(i % 700))
+				}
+			}(w)
+		}
+		wg.Wait()
+		r.Gauge("slots").Set(42)
+		r.Timer("wall").Observe(time.Duration(workers) * time.Millisecond)
+		return r
+	}
+	var ref bytes.Buffer
+	if err := build(1).Snapshot(false).WriteJSON(&ref); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(ref.String(), "timers") {
+		t.Fatalf("deterministic snapshot contains timers:\n%s", ref.String())
+	}
+	for _, workers := range []int{2, 4, 8} {
+		var got bytes.Buffer
+		if err := build(workers).Snapshot(false).WriteJSON(&got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ref.Bytes(), got.Bytes()) {
+			t.Fatalf("snapshot differs for workers=%d:\n%s\nvs\n%s", workers, ref.String(), got.String())
+		}
+	}
+	var full bytes.Buffer
+	if err := build(1).Snapshot(true).WriteJSON(&full); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(full.String(), `"wall"`) {
+		t.Fatalf("Snapshot(true) missing timer:\n%s", full.String())
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(1)
+	r.Gauge("b").Set(2)
+	r.Histogram("c", PowersOf2Buckets(2)).Observe(1)
+	r.Timer("d").Observe(time.Second)
+	var buf bytes.Buffer
+	if err := r.Snapshot(true).WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"counter", "gauge", "hist", "timer", "1.000000s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPhaseTimings(t *testing.T) {
+	p := PhaseTimings{Cluster: 1, Balance: 2, Replicate: 3}
+	q := p.Add(PhaseTimings{Cluster: 10, Balance: 20, Replicate: 30})
+	if q != (PhaseTimings{Cluster: 11, Balance: 22, Replicate: 33}) {
+		t.Fatalf("Add = %+v", q)
+	}
+	if q.Total() != 66 {
+		t.Fatalf("Total = %v", q.Total())
+	}
+}

@@ -1,0 +1,104 @@
+package scheme
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// TestRBCAerObsDeterminism drives the whole observability pipeline —
+// core round events and counters through RBCAer into the simulator's
+// registry and tracer — and asserts the deterministic outputs are
+// byte-identical for sequential Run and RunParallel at Workers ∈
+// {1, 4, 8}, on a clean run and under a fault timeline.
+func TestRBCAerObsDeterminism(t *testing.T) {
+	cfg := trace.DefaultConfig()
+	cfg.NumHotspots = 24
+	cfg.NumVideos = 400
+	cfg.NumUsers = 600
+	cfg.NumRequests = 3000
+	cfg.NumRegions = 4
+	cfg.Slots = 4
+	world, tr, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+
+	run := func(workers int, faults *fault.Scenario) (snapshot, events []byte) {
+		t.Helper()
+		reg := obs.NewRegistry()
+		tracer := obs.NewTracer(1<<16, true)
+		params := core.DefaultParams()
+		params.Obs = reg
+		params.RecordEvents = true
+		opts := sim.Options{Seed: 7, Faults: faults, Registry: reg, Tracer: tracer}
+		var rerr error
+		if workers == 0 {
+			_, rerr = sim.Run(world, tr, NewRBCAer(params), opts)
+		} else {
+			_, rerr = sim.RunParallel(world, tr, func() sim.Scheduler { return NewRBCAer(params) }, workers, opts)
+		}
+		if rerr != nil {
+			t.Fatalf("run(workers=%d): %v", workers, rerr)
+		}
+		var snap, evs bytes.Buffer
+		if err := reg.Snapshot(false).WriteJSON(&snap); err != nil {
+			t.Fatal(err)
+		}
+		if err := tracer.WriteJSONL(&evs); err != nil {
+			t.Fatal(err)
+		}
+		return snap.Bytes(), evs.Bytes()
+	}
+
+	scenarios := map[string]*fault.Scenario{
+		"clean": nil,
+		"faults": {
+			Name:  "obs-stress",
+			Churn: &fault.MarkovChurn{FailPerSlot: 0.1, RecoverPerSlot: 0.4},
+			Degradations: []fault.CapacityDegradation{
+				{StartSlot: 1, EndSlot: 3, Fraction: 0.5, ServiceFactor: 0.5, CacheFactor: 0.5},
+			},
+		},
+	}
+	for name, sc := range scenarios {
+		t.Run(name, func(t *testing.T) {
+			refSnap, refEvents := run(0, sc)
+			// The instrumented round must actually have reported: core
+			// counters in the snapshot, θ-sweep and round events in the
+			// trace, and no wall-clock leakage in either.
+			for _, want := range []string{"core.rounds", "core.moved_flow", "core.mcmf_paths", "sim.requests_total"} {
+				if !bytes.Contains(refSnap, []byte(want)) {
+					t.Fatalf("snapshot missing %q:\n%s", want, refSnap)
+				}
+			}
+			for _, want := range []string{`"type":"theta-iter"`, `"type":"round"`, `"type":"cluster"`, `"type":"slot"`} {
+				if !bytes.Contains(refEvents, []byte(want)) {
+					t.Fatalf("trace missing %q", want)
+				}
+			}
+			for _, leak := range []string{"timers", "_dur", "dur\":"} {
+				if bytes.Contains(refSnap, []byte(leak)) {
+					t.Fatalf("deterministic snapshot leaked %q", leak)
+				}
+				if bytes.Contains(refEvents, []byte(leak)) {
+					t.Fatalf("deterministic trace leaked %q", leak)
+				}
+			}
+			for _, workers := range []int{1, 4, 8} {
+				snap, events := run(workers, sc)
+				if !bytes.Equal(refSnap, snap) {
+					t.Errorf("workers=%d: metric snapshot diverges", workers)
+				}
+				if !bytes.Equal(refEvents, events) {
+					t.Errorf("workers=%d: trace event stream diverges", workers)
+				}
+			}
+		})
+	}
+}

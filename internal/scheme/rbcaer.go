@@ -60,6 +60,8 @@ func (p *RBCAer) Schedule(ctx *sim.SlotContext) (*sim.Assignment, error) {
 	}
 	asg.Degraded = plan.Degraded
 	asg.StrandedDemand = plan.Stats.StrandedToCDN
+	asg.Phases = plan.Stats.Phases
+	asg.Events = plan.Events
 	return asg, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/similarity"
 	"repro/internal/trace"
 )
@@ -123,7 +124,9 @@ func TestRunParallelMatchesRunWithFaults(t *testing.T) {
 	}
 	norm := func(m *Metrics) Metrics {
 		cp := *m
-		cp.SchedulingTime = 0 // wall-clock: the only field allowed to differ
+		cp.SchedulingTime = 0 // wall-clock: the only fields allowed to differ
+		cp.WallTime = 0
+		cp.Phases = obs.PhaseTimings{}
 		return cp
 	}
 	for _, workers := range []int{0, 1, 2, 3, 8} {
@@ -206,6 +209,8 @@ func TestAllOfflineRegression(t *testing.T) {
 	norm := func(m *Metrics) Metrics {
 		cp := *m
 		cp.SchedulingTime = 0
+		cp.WallTime = 0
+		cp.Phases = obs.PhaseTimings{}
 		return cp
 	}
 	for _, workers := range []int{2, 8} {

@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/geo"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/similarity"
 	"repro/internal/stats"
@@ -106,6 +107,16 @@ type Assignment struct {
 	// StrandedDemand is the workload the policy knowingly abandoned to
 	// the CDN this slot (RBCAer reports Stats.StrandedToCDN here).
 	StrandedDemand int64
+	// Phases is the slot's wall-clock scheduling-phase breakdown, when
+	// the policy collects one (RBCAer under observability); zero
+	// otherwise. Accumulated into Metrics.Phases.
+	Phases obs.PhaseTimings
+	// Events are the slot's structured trace events, when the policy
+	// records them (core.Params.RecordEvents). The simulator flushes
+	// them to Options.Tracer in slot order from its sequential
+	// epilogue, so the event stream is identical for Run and
+	// RunParallel at any worker count.
+	Events []obs.Event
 }
 
 // Scheduler is a request-redirection and content-placement policy.
@@ -183,6 +194,14 @@ type Metrics struct {
 
 	// SchedulingTime is the total time spent inside Scheduler.Schedule.
 	SchedulingTime time.Duration
+	// Phases accumulates the per-slot scheduling-phase breakdown
+	// (Assignment.Phases) over the run. Zero for policies that do not
+	// report phases. Wall-clock: not part of the determinism contract.
+	Phases obs.PhaseTimings
+	// WallTime is the run's total wall clock (the "simulate" phase).
+	// In RunParallel it is shorter than SchedulingTime, which sums the
+	// concurrent per-slot rounds.
+	WallTime time.Duration
 }
 
 // SlotMetrics is one timeslot's slice of the run metrics.
@@ -220,6 +239,17 @@ type Options struct {
 	// from Seed, so runs are reproducible across Run, RunParallel, and
 	// any worker count. Nil injects nothing.
 	Faults *fault.Scenario
+	// Registry, when non-nil, receives the run's metrics (sim.*
+	// counters, plus sim.phase.* wall-clock timers) at the end of the
+	// run. The deterministic snapshot (Registry.Snapshot(false)) is
+	// byte-identical across Run/RunParallel and any worker count.
+	Registry *obs.Registry
+	// Tracer, when non-nil, receives per-slot trace events: whatever
+	// the policy recorded on Assignment.Events plus one "slot" summary
+	// event per applied slot. Events are flushed in slot order from the
+	// sequential epilogue, so the sequence is worker-count independent
+	// (byte-identical JSONL with a dropTimings tracer).
+	Tracer *obs.Tracer
 }
 
 // Validate checks the options.
@@ -236,6 +266,7 @@ func (o Options) Validate() error {
 // Run replays the trace against the world under the policy and returns
 // aggregate metrics.
 func Run(world *trace.World, tr *trace.Trace, policy Scheduler, opts Options) (*Metrics, error) {
+	runStart := time.Now()
 	if policy == nil {
 		return nil, fmt.Errorf("sim: nil policy")
 	}
@@ -278,6 +309,8 @@ func Run(world *trace.World, tr *trace.Trace, policy Scheduler, opts Options) (*
 		}
 	}
 	finalizeMetrics(world, metrics, distanceSum)
+	metrics.WallTime = time.Since(runStart)
+	publishRunMetrics(opts.Registry, metrics)
 	return metrics, nil
 }
 
@@ -294,6 +327,7 @@ func Run(world *trace.World, tr *trace.Trace, policy Scheduler, opts Options) (*
 // that carry state across slots (demand predictors, reactive caches)
 // would observe slots out of order; run those through Run instead.
 func RunParallel(world *trace.World, tr *trace.Trace, newPolicy func() Scheduler, workers int, opts Options) (*Metrics, error) {
+	runStart := time.Now()
 	if newPolicy == nil {
 		return nil, fmt.Errorf("sim: nil policy factory")
 	}
@@ -383,6 +417,8 @@ func RunParallel(world *trace.World, tr *trace.Trace, newPolicy func() Scheduler
 		}
 	}
 	finalizeMetrics(world, metrics, distanceSum)
+	metrics.WallTime = time.Since(runStart)
+	publishRunMetrics(opts.Registry, metrics)
 	return metrics, nil
 }
 
@@ -623,6 +659,13 @@ func applySlot(world *trace.World, opts Options, metrics *Metrics, w *slotWork, 
 				ServedByCDN: int64(len(requests)),
 			})
 		}
+		opts.Tracer.Emit(obs.Event{Type: "slot", Slot: slot, Attrs: []obs.Attr{
+			obs.I("requests", int64(len(requests))),
+			obs.I("served_hotspot", 0),
+			obs.I("served_cdn", int64(len(requests))),
+			obs.I("replicas", 0),
+			obs.I("all_offline", 1),
+		}})
 		return nil
 	}
 
@@ -703,9 +746,26 @@ func applySlot(world *trace.World, opts Options, metrics *Metrics, w *slotWork, 
 	}
 	metrics.Replicas += asg.ExtraReplicas
 	metrics.StrandedRequests += asg.StrandedDemand
+	metrics.Phases = metrics.Phases.Add(asg.Phases)
 	if asg.Degraded {
 		metrics.DegradedRounds++
 		metrics.FallbackServedByCDN += metrics.ServedByCDN - slotCDNBefore
+	}
+
+	// Flush the slot's trace: first whatever the policy recorded during
+	// its round, then the simulator's own slot summary. applySlot runs
+	// sequentially in slot order in both Run and RunParallel, so the
+	// event sequence is worker-count independent.
+	if opts.Tracer != nil {
+		opts.Tracer.EmitAll(slot, asg.Events)
+		opts.Tracer.Emit(obs.Event{Type: "slot", Slot: slot, Attrs: []obs.Attr{
+			obs.I("requests", int64(len(requests))),
+			obs.I("served_hotspot", metrics.ServedByHotspot-slotServedBefore),
+			obs.I("served_cdn", metrics.ServedByCDN-slotCDNBefore),
+			obs.I("replicas", metrics.Replicas-slotReplicasBefore),
+			obs.I("degraded", degradedAttr(asg.Degraded)),
+			obs.D("sched_dur", w.took),
+		}})
 	}
 
 	if opts.KeepSlotMetrics {
@@ -722,6 +782,43 @@ func applySlot(world *trace.World, opts Options, metrics *Metrics, w *slotWork, 
 		metrics.PerSlot = append(metrics.PerSlot, sm)
 	}
 	return nil
+}
+
+// degradedAttr renders the degraded flag as a 0/1 event attribute.
+func degradedAttr(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// publishRunMetrics folds a finished run into the registry: logical
+// totals as sim.* counters (deterministic for any worker count), wall
+// clock as sim.phase.* timers (excluded from the deterministic
+// snapshot).
+func publishRunMetrics(r *obs.Registry, m *Metrics) {
+	if r == nil {
+		return
+	}
+	r.Counter("sim.runs").Inc()
+	r.Counter("sim.requests_total").Add(m.TotalRequests)
+	r.Counter("sim.served_by_hotspot").Add(m.ServedByHotspot)
+	r.Counter("sim.served_by_cdn").Add(m.ServedByCDN)
+	r.Counter("sim.infeasible").Add(m.Infeasible)
+	r.Counter("sim.replicas").Add(m.Replicas)
+	r.Counter("sim.offline_hotspot_slots").Add(m.OfflineHotspotSlots)
+	r.Counter("sim.flash_injected_requests").Add(m.FlashInjectedRequests)
+	r.Counter("sim.degraded_rounds").Add(m.DegradedRounds)
+	r.Counter("sim.stranded_requests").Add(m.StrandedRequests)
+	r.Counter("sim.fallback_served_by_cdn").Add(m.FallbackServedByCDN)
+	for cause, n := range m.FaultOutageSlots {
+		r.Counter("sim.fault_outage_slots." + cause).Add(n)
+	}
+	r.Timer("sim.phase.simulate").Observe(m.WallTime)
+	r.Timer("sim.phase.scheduling").Observe(m.SchedulingTime)
+	r.Timer("sim.phase.cluster").Observe(m.Phases.Cluster)
+	r.Timer("sim.phase.balance").Observe(m.Phases.Balance)
+	r.Timer("sim.phase.replicate").Observe(m.Phases.Replicate)
 }
 
 // finalizeMetrics derives the run-level ratios.

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/geo"
+	"repro/internal/obs"
 	"repro/internal/similarity"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -528,7 +529,9 @@ func TestRunParallelMatchesRun(t *testing.T) {
 	}
 	norm := func(m *Metrics) Metrics {
 		cp := *m
-		cp.SchedulingTime = 0 // wall-clock: the only field allowed to differ
+		cp.SchedulingTime = 0 // wall-clock: the only fields allowed to differ
+		cp.WallTime = 0
+		cp.Phases = obs.PhaseTimings{}
 		return cp
 	}
 	for _, workers := range []int{0, 1, 2, 3, 8} {
