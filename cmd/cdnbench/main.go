@@ -1,0 +1,206 @@
+// Command cdnbench runs the repository's headline performance
+// benchmarks programmatically and records the results as a JSON
+// artifact (BENCH_4.json by default) so CI can track ns/op, B/op, and
+// allocs/op regressions across commits. The workload is fixed-seed and
+// matches the root bench_test.go configuration, so numbers are
+// comparable with `go test -bench=BenchmarkSchedule -benchmem .`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mcmf"
+	"repro/internal/sim"
+	"repro/internal/similarity"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// benchResult is one benchmark line of the JSON artifact.
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// namedBench pairs an artifact name with a benchmark body.
+type namedBench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// scheduleDemand generates the fixed-seed world and slot-0 demand the
+// schedule benches run against. quick shrinks the world for CI smoke
+// runs; the recorded artifact uses the full (root bench_test.go) scale.
+func scheduleDemand(quick bool) (*trace.World, *core.Demand, error) {
+	cfg := trace.EvalConfig()
+	if quick {
+		cfg.NumHotspots = 40
+		cfg.NumVideos = 2000
+		cfg.NumUsers = 4000
+		cfg.NumRequests = 7200
+	} else {
+		cfg.NumHotspots = 80
+		cfg.NumVideos = 4000
+		cfg.NumUsers = 8000
+		cfg.NumRequests = 14400
+	}
+	cfg.NumRegions = 8
+	world, tr, err := trace.Generate(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	index, err := world.Index()
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx, err := sim.BuildSlotContext(world, index, 0, tr.Requests, stats.SplitRand(1, "bench"))
+	if err != nil {
+		return nil, nil, err
+	}
+	return world, ctx.Demand, nil
+}
+
+// benchmarks assembles the headline suite: the end-to-end scheduling
+// round at the determinism-contract worker counts, the Jaccard kernel
+// pair, and the arena-reuse MCMF solve.
+func benchmarks(quick bool) ([]namedBench, error) {
+	world, demand, err := scheduleDemand(quick)
+	if err != nil {
+		return nil, fmt.Errorf("generating bench world: %w", err)
+	}
+
+	var out []namedBench
+	for _, workers := range []int{1, 4, 8} {
+		workers := workers
+		params := core.DefaultParams()
+		params.Workers = workers
+		sched, err := core.New(world, params)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, namedBench{
+			name: fmt.Sprintf("Schedule/workers=%d", workers),
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := sched.Schedule(demand); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		})
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	mkSet := func(universe, size int) similarity.Set {
+		s := make(similarity.Set)
+		for k := 0; k < size; k++ {
+			s.Add(rng.Intn(universe))
+		}
+		return s
+	}
+	sa, sb := mkSet(4000, 300), mkSet(4000, 300)
+	bs, ok := similarity.NewBitSets([]similarity.Set{sa, sb})
+	if !ok {
+		return nil, fmt.Errorf("NewBitSets refused the bench universe")
+	}
+	out = append(out,
+		namedBench{name: "JaccardSet", fn: func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = similarity.Jaccard(sa, sb)
+			}
+		}},
+		namedBench{name: "JaccardBitset", fn: func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = bs[0].Jaccard(&bs[1])
+			}
+		}},
+	)
+
+	const n = 200
+	type edge struct {
+		from, to int
+		cap      int64
+		cost     float64
+	}
+	erng := rand.New(rand.NewSource(1))
+	edges := make([]edge, 0, n*6)
+	for k := 0; k < n*6; k++ {
+		from, to := erng.Intn(n), erng.Intn(n)
+		if from == to {
+			continue
+		}
+		edges = append(edges, edge{from, to, int64(1 + erng.Intn(20)), erng.Float64() * 10})
+	}
+	g := mcmf.NewGraph(0)
+	out = append(out, namedBench{name: "MCMFSolveReuse", fn: func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g.Reinit(n)
+			for _, e := range edges {
+				if _, err := g.AddEdge(e.from, e.to, e.cap, e.cost); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := g.MinCostMaxFlow(0, n-1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}})
+	return out, nil
+}
+
+// runSuite executes every benchmark and collects its artifact line.
+func runSuite(benches []namedBench) []benchResult {
+	results := make([]benchResult, 0, len(benches))
+	for _, nb := range benches {
+		r := testing.Benchmark(nb.fn)
+		res := benchResult{
+			Name:        nb.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		results = append(results, res)
+		fmt.Printf("%-24s %12.0f ns/op %12d B/op %8d allocs/op\n",
+			res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	}
+	return results
+}
+
+// writeResults serialises the artifact.
+func writeResults(path string, results []benchResult) error {
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func main() {
+	out := flag.String("out", "BENCH_4.json", "path of the JSON benchmark artifact")
+	quick := flag.Bool("quick", false, "shrink the schedule workload for smoke runs")
+	flag.Parse()
+
+	benches, err := benchmarks(*quick)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cdnbench: %v\n", err)
+		os.Exit(1)
+	}
+	results := runSuite(benches)
+	if err := writeResults(*out, results); err != nil {
+		fmt.Fprintf(os.Stderr, "cdnbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(results))
+}

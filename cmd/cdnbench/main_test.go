@@ -1,0 +1,58 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteResultsRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_4.json")
+	in := []benchResult{
+		{Name: "Schedule/workers=1", NsPerOp: 3.9e6, BytesPerOp: 1754278, AllocsPerOp: 1942},
+		{Name: "JaccardBitset", NsPerOp: 60.5, BytesPerOp: 0, AllocsPerOp: 0},
+	}
+	if err := writeResults(path, in); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []benchResult
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(out) != len(in) || out[0] != in[0] || out[1] != in[1] {
+		t.Fatalf("round trip mismatch: %+v != %+v", out, in)
+	}
+}
+
+// TestBenchmarkSuiteShape checks the quick suite assembles the headline
+// benchmarks without running them (a full run is CI's job).
+func TestBenchmarkSuiteShape(t *testing.T) {
+	benches, err := benchmarks(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"Schedule/workers=1",
+		"Schedule/workers=4",
+		"Schedule/workers=8",
+		"JaccardSet",
+		"JaccardBitset",
+		"MCMFSolveReuse",
+	}
+	if len(benches) != len(want) {
+		t.Fatalf("suite has %d benchmarks, want %d", len(benches), len(want))
+	}
+	for i, nb := range benches {
+		if nb.name != want[i] {
+			t.Errorf("bench %d = %q, want %q", i, nb.name, want[i])
+		}
+		if nb.fn == nil {
+			t.Errorf("bench %q has nil body", nb.name)
+		}
+	}
+}

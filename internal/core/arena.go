@@ -1,0 +1,69 @@
+package core
+
+import (
+	"repro/internal/mcmf"
+)
+
+// roundArena is the per-Scheduler reusable storage behind the
+// scheduling hot path. One round builds roughly ten transient
+// structures per θ iteration — the flow graph, hotspot→node and
+// source/sink-arc tables, per-target candidate lists, the
+// cluster-grouping scratch, the attributed-edge list — and a fresh
+// flows accumulator per round. The arena persists all of them across θ
+// iterations and across rounds, so steady-state network construction
+// appends into retained storage instead of reallocating.
+//
+// Membership tables (nodeOf, source/sink arcs) are epoch-stamped int
+// slices instead of maps: every buildNetwork call bumps epoch, and an
+// entry is live only when its stamp matches — an O(1) "clear" with no
+// map traffic and no per-round zeroing of the m-sized tables.
+//
+// The arena inherits the Scheduler's concurrency contract (sequential
+// use only); the worker fan-out inside a round writes disjoint candsOf
+// rows, never the shared tables.
+type roundArena struct {
+	g     *mcmf.Graph
+	epoch int64
+
+	// Hotspot-indexed, epoch-stamped tables (sized m at construction).
+	nodeOf []int32 // hotspot -> graph node, valid when nodeEp matches
+	nodeEp []int64
+	srcEp  []int64 // source arc added this epoch
+	snkEp  []int64 // sink arc added this epoch
+
+	candsOf [][]cand // per-under-target candidate rows, caps retained
+	groups  []cand   // cluster-stable-sort scratch
+	net     flowNet  // reused result shell; edges cap retained
+
+	flows  map[int64]int64 // per-round flow accumulator, cleared per round
+	counts map[int]int64   // contentClusters signature scratch
+}
+
+func newRoundArena(m int) *roundArena {
+	return &roundArena{
+		g:      mcmf.NewGraph(0),
+		nodeOf: make([]int32, m),
+		nodeEp: make([]int64, m),
+		srcEp:  make([]int64, m),
+		snkEp:  make([]int64, m),
+		flows:  make(map[int64]int64),
+		counts: make(map[int]int64),
+	}
+}
+
+// emptyFlows returns the round flow accumulator, cleared for reuse.
+func (ar *roundArena) emptyFlows() map[int64]int64 {
+	clear(ar.flows)
+	return ar.flows
+}
+
+// candRows returns the candidate table with n reusable rows, growing
+// the row directory while keeping every existing row's capacity.
+func (ar *roundArena) candRows(n int) [][]cand {
+	if cap(ar.candsOf) < n {
+		grown := make([][]cand, n)
+		copy(grown, ar.candsOf[:cap(ar.candsOf)])
+		ar.candsOf = grown
+	}
+	return ar.candsOf[:n]
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/par"
+	"repro/internal/trace"
+)
+
+// spreadDemand overloads the first k hotspots and leaves the rest
+// under-utilised, with overlapping video sets so clustering and
+// replication have real work.
+func spreadDemand(n, k int, perOver int64) *Demand {
+	d := NewDemand(n)
+	for h := 0; h < k; h++ {
+		for v := 0; v < 12; v++ {
+			d.Add(trace.HotspotID(h), trace.VideoID(v+h), perOver)
+		}
+	}
+	for h := k; h < n; h++ {
+		d.Add(trace.HotspotID(h), trace.VideoID(h), 1)
+	}
+	return d
+}
+
+// TestArenaReusePlansIdentical locks the arena against cross-round
+// leakage: the same demand scheduled on a long-lived scheduler —
+// before and after rounds on a different demand — must produce a plan
+// deep-equal to a fresh scheduler's, for both guide modes.
+func TestArenaReusePlansIdentical(t *testing.T) {
+	world := lineWorld(12, 0.4, 6, 8)
+	dA := spreadDemand(12, 3, 4)
+	dB := spreadDemand(12, 5, 7)
+	for _, disableGuides := range []bool{false, true} {
+		params := DefaultParams()
+		params.DisableGuides = disableGuides
+
+		fresh := func(d *Demand) *Plan {
+			s, err := New(world, params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := s.Schedule(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		}
+		wantA, wantB := fresh(dA), fresh(dB)
+
+		s, err := New(world, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sequence := []struct {
+			name string
+			d    *Demand
+			want *Plan
+		}{
+			{"A-first", dA, wantA},
+			{"B-interleaved", dB, wantB},
+			{"A-again", dA, wantA},
+			{"B-again", dB, wantB},
+		}
+		for _, step := range sequence {
+			got, err := s.Schedule(step.d)
+			if err != nil {
+				t.Fatalf("guides=%v %s: %v", !disableGuides, step.name, err)
+			}
+			if !reflect.DeepEqual(got, step.want) {
+				t.Errorf("guides=%v %s: reused-arena plan diverges from fresh scheduler", !disableGuides, step.name)
+			}
+		}
+	}
+}
+
+// TestFastPathNoMovableFlow covers the MaxFlow==0 early exit: no
+// overloaded hotspots (everything fits) and no under-utilised hotspots
+// (everything overloaded) must both skip the sweep machinery while
+// still producing a complete plan.
+func TestFastPathNoMovableFlow(t *testing.T) {
+	t.Run("all-under", func(t *testing.T) {
+		world := lineWorld(8, 0.4, 50, 6)
+		d := NewDemand(8)
+		for h := 0; h < 8; h++ {
+			d.Add(trace.HotspotID(h), trace.VideoID(h), 3)
+		}
+		s, err := New(world, DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := s.Schedule(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := plan.Stats
+		if st.MaxFlow != 0 || st.Iterations != 0 || st.Clusters != 0 || st.DistanceCalcs != 0 {
+			t.Errorf("fast path ran sweep machinery: %+v", st)
+		}
+		if len(plan.Flows) != 0 || len(plan.Redirects) != 0 {
+			t.Errorf("fast path moved flow: %d flows, %d redirects", len(plan.Flows), len(plan.Redirects))
+		}
+		for h, o := range plan.OverflowToCDN {
+			if o != 0 {
+				t.Errorf("hotspot %d overflows %d with spare capacity", h, o)
+			}
+		}
+		// The greedy local fill must still replicate demanded videos.
+		if st.Replicas == 0 {
+			t.Error("fast path skipped Procedure 1's local fill")
+		}
+		for h := 0; h < 8; h++ {
+			if !plan.Placement[h].Contains(h) {
+				t.Errorf("hotspot %d missing its demanded video in placement", h)
+			}
+		}
+	})
+
+	t.Run("all-over", func(t *testing.T) {
+		world := lineWorld(4, 0.4, 2, 6)
+		d := NewDemand(4)
+		for h := 0; h < 4; h++ {
+			d.Add(trace.HotspotID(h), trace.VideoID(h), 10)
+		}
+		s, err := New(world, DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := s.Schedule(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Stats.MaxFlow != 0 || plan.Stats.Iterations != 0 {
+			t.Errorf("fast path ran the sweep: %+v", plan.Stats)
+		}
+		var stranded int64
+		for h, o := range plan.OverflowToCDN {
+			if o != 8 {
+				t.Errorf("hotspot %d overflow %d, want 8", h, o)
+			}
+			stranded += o
+		}
+		if plan.Stats.StrandedToCDN != stranded {
+			t.Errorf("StrandedToCDN = %d, want %d", plan.Stats.StrandedToCDN, stranded)
+		}
+	})
+}
+
+// TestBuildNetworkSteadyStateAllocs bounds the steady-state allocation
+// cost of network construction so arena reuse cannot silently rot. The
+// first build sizes the arena; subsequent builds should only pay a
+// handful of incidental allocations (closure headers and the like),
+// not the ~10 maps/slices the pre-arena path allocated.
+func TestBuildNetworkSteadyStateAllocs(t *testing.T) {
+	world := lineWorld(24, 0.3, 5, 8)
+	d := spreadDemand(24, 8, 6)
+	params := DefaultParams()
+	params.Workers = 1
+	s, err := New(world, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusterOf, _, err := s.contentClusters(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, under, phiOver, phiUnder := s.partition(d, s.worldCapacities())
+	dc := s.newDistCache(over, under, par.Workers(params.Workers))
+
+	for _, useGuides := range []bool{true, false} {
+		// Warm the arena at this shape.
+		nb := s.buildNetwork(params.Theta2, over, under, phiOver, phiUnder, dc, clusterOf, useGuides)
+		if nb.directPairs == 0 {
+			t.Fatal("test network is empty — nothing exercised")
+		}
+		allocs := testing.AllocsPerRun(20, func() {
+			s.buildNetwork(params.Theta2, over, under, phiOver, phiUnder, dc, clusterOf, useGuides)
+		})
+		const maxAllocs = 8
+		if allocs > maxAllocs {
+			t.Errorf("guides=%v: steady-state buildNetwork allocates %v objects per call, want <= %d",
+				useGuides, allocs, maxAllocs)
+		}
+	}
+}

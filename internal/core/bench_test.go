@@ -1,0 +1,35 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/par"
+)
+
+// BenchmarkBuildNetwork measures steady-state network construction on
+// the round arena — the per-θ-iteration cost of the sweep, with the
+// graph, candidate rows, and node tables all reused.
+func BenchmarkBuildNetwork(b *testing.B) {
+	world := lineWorld(64, 0.2, 5, 8)
+	d := spreadDemand(64, 20, 6)
+	params := DefaultParams()
+	params.Workers = 1
+	s, err := New(world, params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	clusterOf, _, err := s.contentClusters(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	over, under, phiOver, phiUnder := s.partition(d, s.worldCapacities())
+	dc := s.newDistCache(over, under, par.Workers(params.Workers))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nb := s.buildNetwork(params.Theta2, over, under, phiOver, phiUnder, dc, clusterOf, true)
+		if nb.directPairs == 0 {
+			b.Fatal("empty network")
+		}
+	}
+}

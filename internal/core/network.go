@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/cluster"
 	"repro/internal/mcmf"
@@ -103,40 +103,43 @@ func (s *Scheduler) buildNetwork(
 	clusterOf []int,
 	useGuides bool,
 ) *flowNet {
-	g := mcmf.NewGraph(2)
+	ar := s.ar
+	ar.epoch++
+	g := ar.g
+	g.Reinit(2)
 	const (
 		source = 0
 		sink   = 1
 	)
-	nodeOf := make(map[int]int) // hotspot -> graph node
 
-	nb := &flowNet{g: g, source: source, sink: sink}
+	ar.net = flowNet{g: g, source: source, sink: sink, edges: ar.net.edges[:0]}
+	nb := &ar.net
 
 	// Candidate pairs within θ, grouped by under-utilised target.
 	// candsOf is indexed alongside under; the O(|Hs|·|Ht|) enumeration
 	// is the per-iteration hot loop, so targets fan out over the
-	// round's workers — each writes only its own candsOf rows.
-	candsOf := make([][]cand, len(under))
+	// round's workers — each writes only its own candsOf rows (reused
+	// from the arena, so steady state appends into retained storage).
+	candsOf := ar.candRows(len(under))
 	par.Chunks(len(under), par.Workers(s.params.Workers), func(lo, hi int) {
 		for uj := lo; uj < hi; uj++ {
+			cands := candsOf[uj][:0]
 			j := under[uj]
-			if phiUnder[j] <= 0 {
-				continue
-			}
-			var cands []cand
-			for oi, i := range over {
-				if phiOver[i] <= 0 {
-					continue
+			if phiUnder[j] > 0 {
+				for oi, i := range over {
+					if phiOver[i] <= 0 {
+						continue
+					}
+					d := dc.at(oi, uj)
+					if d >= theta {
+						continue
+					}
+					phiIJ := phiOver[i]
+					if phiUnder[j] < phiIJ {
+						phiIJ = phiUnder[j]
+					}
+					cands = append(cands, cand{i: i, phiIJ: phiIJ, distIJ: d})
 				}
-				d := dc.at(oi, uj)
-				if d >= theta {
-					continue
-				}
-				phiIJ := phiOver[i]
-				if phiUnder[j] < phiIJ {
-					phiIJ = phiUnder[j]
-				}
-				cands = append(cands, cand{i: i, phiIJ: phiIJ, distIJ: d})
 			}
 			candsOf[uj] = cands
 		}
@@ -145,17 +148,18 @@ func (s *Scheduler) buildNetwork(
 		nb.directPairs += len(cands)
 	}
 
+	// Hotspot→node plus lazy source/sink arcs, epoch-stamped so the
+	// tables clear in O(1) per buildNetwork call instead of allocating
+	// three maps.
 	ensureNode := func(h int) int {
-		if n, ok := nodeOf[h]; ok {
-			return n
+		if ar.nodeEp[h] == ar.epoch {
+			return int(ar.nodeOf[h])
 		}
 		n := g.AddNode()
-		nodeOf[h] = n
+		ar.nodeOf[h] = int32(n)
+		ar.nodeEp[h] = ar.epoch
 		return n
 	}
-	// Source and sink arcs are added lazily, once per hotspot.
-	sourceArc := make(map[int]bool)
-	sinkArc := make(map[int]bool)
 	mustEdge := func(from, to int, capacity int64, cost float64) mcmf.EdgeID {
 		id, err := g.AddEdge(from, to, capacity, cost)
 		if err != nil {
@@ -172,32 +176,40 @@ func (s *Scheduler) buildNetwork(
 		}
 		j := under[uj]
 		nj := ensureNode(j)
-		if !sinkArc[j] {
+		if ar.snkEp[j] != ar.epoch {
 			mustEdge(nj, sink, phiUnder[j], 0)
-			sinkArc[j] = true
+			ar.snkEp[j] = ar.epoch
 		}
 
 		// Partition candidates by the source hotspot's content cluster,
 		// visiting clusters in ascending id so edge insertion — and
 		// hence the solver's path choices on cost ties — is
-		// deterministic.
-		byCluster := make(map[int][]cand)
+		// deterministic. A stable sort by cluster id over arena scratch
+		// yields exactly the order the previous map-of-groups build
+		// visited (ascending cluster, original candidate order within a
+		// cluster) without allocating per-target maps.
+		groups := cands
 		if useGuides {
-			for _, c := range cands {
-				k := clusterOf[c.i]
-				byCluster[k] = append(byCluster[k], c)
-			}
-		} else {
-			byCluster[-1] = cands
+			ar.groups = append(ar.groups[:0], cands...)
+			slices.SortStableFunc(ar.groups, func(a, b cand) int {
+				return clusterOf[a.i] - clusterOf[b.i]
+			})
+			groups = ar.groups
 		}
-		clusterKeys := make([]int, 0, len(byCluster))
-		for k := range byCluster {
-			clusterKeys = append(clusterKeys, k)
-		}
-		sort.Ints(clusterKeys)
 
-		for _, k := range clusterKeys {
-			group := byCluster[k]
+		for gLo := 0; gLo < len(groups); {
+			gHi := gLo + 1
+			k := -1
+			if useGuides {
+				k = clusterOf[groups[gLo].i]
+				for gHi < len(groups) && clusterOf[groups[gHi].i] == k {
+					gHi++
+				}
+			} else {
+				gHi = len(groups)
+			}
+			group := groups[gLo:gHi]
+			gLo = gHi
 			var sumPhi int64
 			var sumDist float64
 			for _, c := range group {
@@ -230,9 +242,9 @@ func (s *Scheduler) buildNetwork(
 				mustEdge(guide, nj, outCap, outCost)
 				for _, c := range group {
 					ni := ensureNode(c.i)
-					if !sourceArc[c.i] {
+					if ar.srcEp[c.i] != ar.epoch {
 						mustEdge(source, ni, phiOver[c.i], 0)
-						sourceArc[c.i] = true
+						ar.srcEp[c.i] = ar.epoch
 					}
 					id := mustEdge(ni, guide, c.phiIJ, 0)
 					nb.edges = append(nb.edges, attributedEdge{id: id, i: c.i, j: j})
@@ -240,9 +252,9 @@ func (s *Scheduler) buildNetwork(
 			} else {
 				for _, c := range group {
 					ni := ensureNode(c.i)
-					if !sourceArc[c.i] {
+					if ar.srcEp[c.i] != ar.epoch {
 						mustEdge(source, ni, phiOver[c.i], 0)
-						sourceArc[c.i] = true
+						ar.srcEp[c.i] = ar.epoch
 					}
 					id := mustEdge(ni, nj, c.phiIJ, c.distIJ)
 					nb.edges = append(nb.edges, attributedEdge{id: id, i: c.i, j: j})
@@ -261,8 +273,9 @@ func (s *Scheduler) buildNetwork(
 func (s *Scheduler) contentClusters(d *Demand) ([]int, int, error) {
 	m := len(s.world.Hotspots)
 	sets := make([]similarity.Set, m)
+	counts := s.ar.counts // reused across hotspots; TopFraction copies what it keeps
 	for h := 0; h < m; h++ {
-		counts := make(map[int]int64, len(d.PerVideo[h]))
+		clear(counts)
 		for v, n := range d.PerVideo[h] {
 			counts[int(v)] = n
 		}

@@ -1,8 +1,8 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/similarity"
@@ -89,7 +89,7 @@ func (s *Scheduler) replicate(d *Demand, flows map[int64]int64, svc []int64, cac
 	}
 
 	// Seed the lazy max-heap over (v, j) with initial eu values.
-	h := &euHeap{}
+	var h euHeap
 	for j, srcs := range sourcesOf {
 		seen := make(map[trace.VideoID]struct{})
 		for _, i := range srcs {
@@ -99,22 +99,22 @@ func (s *Scheduler) replicate(d *Demand, flows map[int64]int64, svc []int64, cac
 				}
 				seen[v] = struct{}{}
 				if eu := euOf(v, j); eu > 0 {
-					heap.Push(h, euEntry{video: v, target: j, eu: eu})
+					h.push(euEntry{video: v, target: j, eu: eu})
 				}
 			}
 		}
 	}
 
 	remainingTotal := totalFlow
-	for h.Len() > 0 && remainingTotal > 0 {
-		top := heap.Pop(h).(euEntry)
+	for len(h) > 0 && remainingTotal > 0 {
+		top := h.pop()
 		cur := euOf(top.video, top.target)
 		if cur <= 0 {
 			continue
 		}
 		if cur < top.eu {
 			// Stale priority: requeue with the refreshed value.
-			heap.Push(h, euEntry{video: top.video, target: top.target, eu: cur})
+			h.push(euEntry{video: top.video, target: top.target, eu: cur})
 			continue
 		}
 		j := top.target
@@ -179,14 +179,18 @@ func (s *Scheduler) replicate(d *Demand, flows map[int64]int64, svc []int64, cac
 			fill = append(fill, localDemand{hotspot: i, video: v, count: n})
 		}
 	}
-	sort.Slice(fill, func(a, b int) bool {
-		if fill[a].count != fill[b].count {
-			return fill[a].count > fill[b].count
+	slices.SortFunc(fill, func(a, b localDemand) int {
+		switch {
+		case a.count != b.count:
+			if a.count > b.count {
+				return -1
+			}
+			return 1
+		case a.hotspot != b.hotspot:
+			return a.hotspot - b.hotspot
+		default:
+			return int(a.video) - int(b.video)
 		}
-		if fill[a].hotspot != fill[b].hotspot {
-			return fill[a].hotspot < fill[b].hotspot
-		}
-		return fill[a].video < fill[b].video
 	})
 
 	// Replicating a video the hotspot has no service capacity left to
@@ -240,10 +244,14 @@ type euEntry struct {
 }
 
 // euHeap is a max-heap over euEntry with deterministic tie-breaking.
+// Hand-rolled (sift-up/sift-down identical to container/heap) because
+// the boxed interface{} Push/Pop of container/heap dominated the
+// round's allocation profile: one box per operation on a heap that sees
+// every (video, target) candidate of the round. The (eu, target, video)
+// order is strict and total, so pop order is deterministic.
 type euHeap []euEntry
 
-func (h euHeap) Len() int { return len(h) }
-func (h euHeap) Less(a, b int) bool {
+func (h euHeap) less(a, b int) bool {
 	if h[a].eu != h[b].eu {
 		return h[a].eu > h[b].eu
 	}
@@ -252,12 +260,42 @@ func (h euHeap) Less(a, b int) bool {
 	}
 	return h[a].video < h[b].video
 }
-func (h euHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
-func (h *euHeap) Push(x interface{}) { *h = append(*h, x.(euEntry)) }
-func (h *euHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (h *euHeap) push(e euEntry) {
+	*h = append(*h, e)
+	s := *h
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2 // parent
+		if !s.less(j, i) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+}
+
+func (h *euHeap) pop() euEntry {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	// Sift the new root down over s[:n].
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && s.less(j2, j1) {
+			j = j2
+		}
+		if !s.less(j, i) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	*h = s[:n]
+	return s[n]
 }

@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/geo"
@@ -20,6 +20,9 @@ type Scheduler struct {
 	world  *trace.World
 	params Params
 	locs   []geo.Point
+	// ar is the reusable round arena behind buildNetwork and the flows
+	// accumulator; it shares the Scheduler's sequential-use contract.
+	ar *roundArena
 }
 
 // New validates the inputs and returns a scheduler for the world.
@@ -37,7 +40,7 @@ func New(world *trace.World, params Params) (*Scheduler, error) {
 	for i, h := range world.Hotspots {
 		locs[i] = h.Location
 	}
-	return &Scheduler{world: world, params: params, locs: locs}, nil
+	return &Scheduler{world: world, params: params, locs: locs, ar: newRoundArena(len(world.Hotspots))}, nil
 }
 
 // World returns the world the scheduler was built for.
@@ -174,6 +177,18 @@ func (s *Scheduler) ScheduleRound(d *Demand, cons Constraints) (*Plan, error) {
 		stats.MaxFlow = sumUnder
 	}
 
+	// Fast path: no movable workload (no overloaded or no
+	// under-utilised hotspots) means the θ sweep cannot move anything —
+	// skip clustering, the distance cache, and the sweep entirely and
+	// go straight to replication. Common in light-traffic and heavily
+	// degraded slots. The skipped stages would all have been no-ops:
+	// the sweep breaks before its first iteration and the distance
+	// cache is empty whenever either side of the partition is, so the
+	// plan is identical to the full path's.
+	if stats.MaxFlow == 0 {
+		return s.finishRound(d, &stats, &ro, over, under, phiOver, s.ar.emptyFlows(), svc, cache, &distCache{}, 0)
+	}
+
 	var clusterOf []int
 	if !s.params.DisableGuides {
 		t0 := ro.now()
@@ -193,7 +208,7 @@ func (s *Scheduler) ScheduleRound(d *Demand, cons Constraints) (*Plan, error) {
 			obs.D("dur", stats.Phases.Cluster))
 	}
 
-	flows := make(map[int64]int64)
+	flows := s.ar.emptyFlows()
 	var moved int64
 
 	// The over×under distances are fixed for the whole round: compute
@@ -299,6 +314,27 @@ func (s *Scheduler) ScheduleRound(d *Demand, cons Constraints) (*Plan, error) {
 	stats.MovedFlow = moved
 	stats.Phases.Balance = ro.since(tBalance)
 
+	return s.finishRound(d, &stats, &ro, over, under, phiOver, flows, svc, cache, dcache, mcmfPaths)
+}
+
+// finishRound runs the round's tail shared by the full θ-sweep path and
+// the MaxFlow==0 fast path: CDN overflow accounting, Procedure 1
+// replication, the realised-flow reconciliation, Ω1, and plan/event
+// assembly.
+func (s *Scheduler) finishRound(
+	d *Demand,
+	stats *Stats,
+	ro *roundObs,
+	over, under []int,
+	phiOver []int64,
+	flows map[int64]int64,
+	svc []int64,
+	cache []int,
+	dcache *distCache,
+	mcmfPaths int64,
+) (*Plan, error) {
+	m := len(s.world.Hotspots)
+
 	// Whatever surplus remains unmovable within θ2 goes to the origin
 	// CDN server (Algorithm 1, line 14).
 	overflow := make([]int64, m)
@@ -353,7 +389,7 @@ func (s *Scheduler) ScheduleRound(d *Demand, cons Constraints) (*Plan, error) {
 		obs.D("cluster_dur", stats.Phases.Cluster),
 		obs.D("balance_dur", stats.Phases.Balance),
 		obs.D("replicate_dur", stats.Phases.Replicate))
-	publishRound(s.params.Obs, &stats, mcmfPaths)
+	publishRound(s.params.Obs, stats, mcmfPaths)
 
 	plan := &Plan{
 		Flows:         flowEdges(flows, realized, m),
@@ -361,7 +397,7 @@ func (s *Scheduler) ScheduleRound(d *Demand, cons Constraints) (*Plan, error) {
 		Placement:     placement,
 		OverflowToCDN: overflow,
 		Degraded:      stats.Degraded,
-		Stats:         stats,
+		Stats:         *stats,
 		Events:        ro.events,
 	}
 	return plan, nil
@@ -467,7 +503,7 @@ func flowEdges(flows, realized map[int64]int64, m int) []FlowEdge {
 	for k := range flows {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	slices.Sort(keys)
 	out := make([]FlowEdge, 0, len(keys))
 	for _, k := range keys {
 		amt := realized[k]

@@ -12,7 +12,6 @@
 package mcmf
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -59,10 +58,24 @@ type Edge struct {
 // Graph is a directed flow network. The zero value is an empty graph;
 // nodes are added with AddNode or reserved up front with NewGraph.
 // Graph is not safe for concurrent mutation.
+//
+// A Graph owns reusable solver scratch (distance/potential/parent
+// vectors and the Dijkstra heap), sized on first use and retained
+// across Solve calls and Reinit, so steady-state solves on a reused
+// graph perform no allocations.
 type Graph struct {
 	adj   [][]int32 // node -> indexes into arcs
 	arcs  []arc     // arcs[2k], arcs[2k+1] are a residual pair
 	costs int       // count of negative-cost arcs (to decide priming)
+
+	// Solver scratch, grown by ensureScratch and reused across solves.
+	dist    []float64
+	pot     []float64
+	prevArc []int32
+	visited []bool // Dijkstra: settled; SPFA: in-queue
+	relaxed []int32
+	heap    []nodeDist
+	queue   []int32
 }
 
 // arc is half of a residual edge pair. The reverse arc is arcs[i^1].
@@ -89,8 +102,33 @@ func (g *Graph) NumEdges() int { return len(g.arcs) / 2 }
 
 // AddNode adds a node and returns its index.
 func (g *Graph) AddNode() int {
-	g.adj = append(g.adj, nil)
+	if len(g.adj) < cap(g.adj) {
+		// Revive capacity left behind by Reinit, truncating whatever
+		// adjacency the previous incarnation of this node slot held.
+		g.adj = g.adj[:len(g.adj)+1]
+		g.adj[len(g.adj)-1] = g.adj[len(g.adj)-1][:0]
+	} else {
+		g.adj = append(g.adj, nil)
+	}
 	return len(g.adj) - 1
+}
+
+// Reinit resets the graph to n fresh nodes and no edges while retaining
+// all allocated storage — adjacency lists, the arc array, and the
+// solver scratch — for reuse. A caller that builds a new network every
+// round can hold one Graph and Reinit it instead of allocating a fresh
+// graph per round.
+func (g *Graph) Reinit(n int) {
+	g.arcs = g.arcs[:0]
+	g.costs = 0
+	if n > cap(g.adj) {
+		g.adj = append(g.adj[:cap(g.adj)], make([][]int32, n-cap(g.adj))...)
+	} else {
+		g.adj = g.adj[:n]
+	}
+	for i := range g.adj {
+		g.adj[i] = g.adj[i][:0]
+	}
 }
 
 // AddEdge adds a directed edge with the given capacity and per-unit
@@ -199,9 +237,29 @@ func (g *Graph) Solve(source, sink int, limit int64, alg Algorithm) (Result, err
 // costEps absorbs floating-point drift when comparing path costs.
 const costEps = 1e-9
 
+// ensureScratch sizes the reusable solver scratch for n nodes.
+func (g *Graph) ensureScratch(n int) {
+	if cap(g.dist) < n {
+		g.dist = make([]float64, n)
+		g.pot = make([]float64, n)
+		g.prevArc = make([]int32, n)
+		g.visited = make([]bool, n)
+		g.relaxed = make([]int32, n)
+	}
+	g.dist = g.dist[:n]
+	g.pot = g.pot[:n]
+	g.prevArc = g.prevArc[:n]
+	g.visited = g.visited[:n]
+	g.relaxed = g.relaxed[:n]
+}
+
 func (g *Graph) solveDijkstra(source, sink int, limit int64) (Result, error) {
 	n := len(g.adj)
-	pot := make([]float64, n)
+	g.ensureScratch(n)
+	pot := g.pot
+	for i := range pot {
+		pot[i] = 0
+	}
 	if g.costs > 0 {
 		// Negative original costs: prime potentials with one
 		// Bellman-Ford pass so reduced costs become non-negative.
@@ -216,9 +274,9 @@ func (g *Graph) solveDijkstra(source, sink int, limit int64) (Result, error) {
 		}
 	}
 
-	dist := make([]float64, n)
-	prevArc := make([]int32, n)
-	visited := make([]bool, n)
+	dist := g.dist
+	prevArc := g.prevArc
+	visited := g.visited
 	var res Result
 
 	for res.Flow < limit {
@@ -228,10 +286,11 @@ func (g *Graph) solveDijkstra(source, sink int, limit int64) (Result, error) {
 			visited[i] = false
 		}
 		dist[source] = 0
-		pq := &nodeHeap{}
-		heap.Push(pq, nodeDist{node: int32(source), dist: 0})
-		for pq.Len() > 0 {
-			nd := heap.Pop(pq).(nodeDist)
+		pq := g.heap[:0]
+		pq = pushND(pq, nodeDist{node: int32(source), dist: 0})
+		for len(pq) > 0 {
+			var nd nodeDist
+			nd, pq = popND(pq)
 			u := int(nd.node)
 			if visited[u] {
 				continue
@@ -255,10 +314,11 @@ func (g *Graph) solveDijkstra(source, sink int, limit int64) (Result, error) {
 				if nd2 < dist[v]-costEps {
 					dist[v] = nd2
 					prevArc[v] = ai
-					heap.Push(pq, nodeDist{node: a.to, dist: nd2})
+					pq = pushND(pq, nodeDist{node: a.to, dist: nd2})
 				}
 			}
 		}
+		g.heap = pq // retain grown capacity for the next iteration
 		if math.IsInf(dist[sink], 1) {
 			break // no augmenting path remains
 		}
@@ -292,10 +352,11 @@ func (g *Graph) solveDijkstra(source, sink int, limit int64) (Result, error) {
 
 func (g *Graph) solveBellmanFord(source, sink int, limit int64) (Result, error) {
 	n := len(g.adj)
-	dist := make([]float64, n)
-	prevArc := make([]int32, n)
-	inQueue := make([]bool, n)
-	relaxed := make([]int, n)
+	g.ensureScratch(n)
+	dist := g.dist
+	prevArc := g.prevArc
+	inQueue := g.visited
+	relaxed := g.relaxed
 	var res Result
 
 	for res.Flow < limit {
@@ -306,12 +367,17 @@ func (g *Graph) solveBellmanFord(source, sink int, limit int64) (Result, error) 
 			relaxed[i] = 0
 		}
 		dist[source] = 0
-		queue := make([]int32, 0, n)
+		queue := g.queue[:0]
+		if cap(queue) < n {
+			queue = make([]int32, 0, n)
+		}
 		queue = append(queue, int32(source))
 		inQueue[source] = true
-		for len(queue) > 0 {
-			u := int(queue[0])
-			queue = queue[1:]
+		// FIFO via a head cursor so the backing array survives for the
+		// next augmentation instead of being sliced away.
+		for head := 0; head < len(queue); {
+			u := int(queue[head])
+			head++
 			inQueue[u] = false
 			for _, ai := range g.adj[u] {
 				a := g.arcs[ai]
@@ -325,7 +391,7 @@ func (g *Graph) solveBellmanFord(source, sink int, limit int64) (Result, error) 
 					prevArc[v] = ai
 					if !inQueue[v] {
 						relaxed[v]++
-						if relaxed[v] > n {
+						if relaxed[v] > int32(n) {
 							return Result{}, fmt.Errorf("mcmf: negative-cost cycle reachable from source")
 						}
 						queue = append(queue, int32(v))
@@ -334,6 +400,7 @@ func (g *Graph) solveBellmanFord(source, sink int, limit int64) (Result, error) 
 				}
 			}
 		}
+		g.queue = queue[:0]
 		if math.IsInf(dist[sink], 1) {
 			break
 		}
@@ -397,18 +464,45 @@ type nodeDist struct {
 	dist float64
 }
 
-type nodeHeap []nodeDist
-
-func (h nodeHeap) Len() int            { return len(h) }
-func (h nodeHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
-func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeDist)) }
-func (h *nodeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+// pushND and popND implement a binary min-heap over a plain []nodeDist,
+// replacing container/heap whose interface{} Push/Pop boxed an entry
+// per operation on the solver's innermost loop. The sift-up/sift-down
+// logic mirrors container/heap exactly (including which child wins a
+// tie), so the pop order of equal-distance entries — and therefore the
+// solver's path choices on cost ties — is identical to the boxed heap.
+func pushND(h []nodeDist, nd nodeDist) []nodeDist {
+	h = append(h, nd)
+	j := len(h) - 1
+	for j > 0 {
+		i := (j - 1) / 2 // parent
+		if h[j].dist >= h[i].dist {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+	return h
 }
 
-var _ heap.Interface = (*nodeHeap)(nil)
+func popND(h []nodeDist) (nodeDist, []nodeDist) {
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	// Sift the new root down over h[:n].
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h[j2].dist < h[j1].dist {
+			j = j2
+		}
+		if h[j].dist >= h[i].dist {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	return h[n], h[:n]
+}

@@ -1,0 +1,51 @@
+package similarity
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The bitset-vs-map kernel pair quantifies the win of the packed
+// representation on the clustering stage's O(n²) inner loop; the
+// distance-matrix benches measure it end to end.
+
+func benchSets(b *testing.B, universe, size int) (Set, Set) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(3))
+	return randomSet(rng, universe, size), randomSet(rng, universe, size)
+}
+
+func BenchmarkJaccardSet(b *testing.B) {
+	sa, sb := benchSets(b, 4000, 300)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Jaccard(sa, sb)
+	}
+}
+
+func BenchmarkJaccardBitset(b *testing.B) {
+	sa, sb := benchSets(b, 4000, 300)
+	bs, ok := NewBitSets([]Set{sa, sb})
+	if !ok {
+		b.Fatal("NewBitSets failed")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = bs[0].Jaccard(&bs[1])
+	}
+}
+
+func BenchmarkDistanceMatrix(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	sets := make([]Set, 200)
+	for i := range sets {
+		sets[i] = randomSet(rng, 4000, 150)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = DistanceMatrix(sets, 1)
+	}
+}

@@ -1,0 +1,111 @@
+package similarity
+
+import "math/bits"
+
+// BitSet is a packed membership vector over a contiguous id universe:
+// bit (id - base) of the word array is set when id is a member. All
+// BitSets built by one NewBitSets call share the same base, which is
+// what makes the word-parallel Jaccard kernel valid between them.
+//
+// The packed representation exists for the O(n²) pairwise-similarity
+// hot path: a Jaccard evaluation runs AND/OR + popcount over a few
+// dozen words instead of probing a hash map per member, and performs
+// zero allocations.
+type BitSet struct {
+	base  int // smallest representable id, aligned down to a multiple of 64
+	words []uint64
+	count int // cached cardinality
+}
+
+// maxBitSetSpan bounds the id span (max id - min id) NewBitSets will
+// pack. Beyond it the dense representation would cost more memory than
+// the hash sets it replaces, so callers fall back to the map kernel.
+// 1<<21 bits is 256 KiB per set — far above any realistic video
+// catalogue in this repository.
+const maxBitSetSpan = 1 << 21
+
+// NewBitSets packs sets into BitSets sharing one base so they can be
+// compared with BitSet.Jaccard. It reports ok=false — and callers must
+// fall back to the map kernel — when the id span exceeds maxBitSetSpan.
+func NewBitSets(sets []Set) ([]BitSet, bool) {
+	lo, hi := 0, 0
+	seen := false
+	for _, s := range sets {
+		for id := range s {
+			if !seen {
+				lo, hi = id, id
+				seen = true
+				continue
+			}
+			if id < lo {
+				lo = id
+			}
+			if id > hi {
+				hi = id
+			}
+		}
+	}
+	out := make([]BitSet, len(sets))
+	if !seen {
+		return out, true // all sets empty: zero words suffice
+	}
+	if span := hi - lo; span < 0 || span >= maxBitSetSpan {
+		return nil, false
+	}
+	base := lo &^ 63 // align down so bit offsets stay non-negative
+	nWords := (hi-base)/64 + 1
+	words := make([]uint64, len(sets)*nWords) // one backing array for locality
+	for i, s := range sets {
+		w := words[i*nWords : (i+1)*nWords : (i+1)*nWords]
+		for id := range s {
+			off := id - base
+			w[off>>6] |= 1 << (off & 63)
+		}
+		out[i] = BitSet{base: base, words: w, count: len(s)}
+	}
+	return out, true
+}
+
+// Len returns the cardinality.
+func (b *BitSet) Len() int { return b.count }
+
+// Contains reports whether id is a member.
+func (b *BitSet) Contains(id int) bool {
+	off := id - b.base
+	if off < 0 || off>>6 >= len(b.words) {
+		return false
+	}
+	return b.words[off>>6]&(1<<(off&63)) != 0
+}
+
+// Jaccard returns |a ∩ b| / |a ∪ b| computed word-parallel with
+// popcounts. Both sets must come from the same NewBitSets batch (same
+// base); intersection and union are exact integers, so the result is
+// bit-identical to Jaccard over the equivalent map Sets. Two empty sets
+// have similarity 1, matching the map kernel's convention.
+func (b *BitSet) Jaccard(o *BitSet) float64 {
+	inter, union := 0, 0
+	wa, wb := b.words, o.words
+	n := len(wa)
+	if len(wb) < n {
+		n = len(wb)
+	}
+	for k := 0; k < n; k++ {
+		inter += bits.OnesCount64(wa[k] & wb[k])
+		union += bits.OnesCount64(wa[k] | wb[k])
+	}
+	for _, w := range wa[n:] {
+		union += bits.OnesCount64(w)
+	}
+	for _, w := range wb[n:] {
+		union += bits.OnesCount64(w)
+	}
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// JaccardDistance returns 1 - Jaccard(b, o), the content-aware distance
+// Jd of Eq. 13 on the packed representation.
+func (b *BitSet) JaccardDistance(o *BitSet) float64 { return 1 - b.Jaccard(o) }

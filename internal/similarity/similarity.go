@@ -8,6 +8,7 @@ package similarity
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/par"
@@ -75,10 +76,14 @@ func JaccardDistance(a, b Set) float64 { return 1 - Jaccard(a, b) }
 
 // DistanceMatrix computes the full pairwise JaccardDistance matrix of
 // sets. The O(n²) pair evaluations — the dominant cost of the
-// content-clustering stage on large fleets — fan out over workers
-// goroutines (0 selects GOMAXPROCS, 1 is serial); rows are striped
-// across workers and each unordered pair is computed exactly once, so
-// the result is identical for every worker count. The diagonal is 0.
+// content-clustering stage on large fleets — run on the packed BitSet
+// popcount kernel (falling back to the map kernel when the id universe
+// is too sparse to pack) and fan out over workers goroutines (0 selects
+// GOMAXPROCS, 1 is serial); rows are striped across workers and each
+// unordered pair is computed exactly once, so the result is identical
+// for every worker count — and, because both kernels compute the same
+// exact integer intersection/union, identical between kernels too. The
+// diagonal is 0.
 func DistanceMatrix(sets []Set, workers int) [][]float64 {
 	n := len(sets)
 	d := make([][]float64, n)
@@ -89,6 +94,17 @@ func DistanceMatrix(sets []Set, workers int) [][]float64 {
 	// Row i computes the upper triangle j > i and mirrors into d[j][i];
 	// every cell has exactly one writer, so no synchronisation is
 	// needed. Striding balances the shrinking rows across workers.
+	if bs, ok := NewBitSets(sets); ok {
+		par.Strided(n, par.Workers(workers), func(i int) {
+			bi := &bs[i]
+			for j := i + 1; j < n; j++ {
+				v := bi.JaccardDistance(&bs[j])
+				d[i][j] = v
+				d[j][i] = v
+			}
+		})
+		return d
+	}
 	par.Strided(n, par.Workers(workers), func(i int) {
 		for j := i + 1; j < n; j++ {
 			v := JaccardDistance(sets[i], sets[j])
@@ -118,26 +134,43 @@ func TopFraction(demand map[int]int64, frac float64) (Set, error) {
 	return TopK(demand, k)
 }
 
+// entry is one (item, demand) pair of a demand vector being ranked.
+type entry struct {
+	id  int
+	cnt int64
+}
+
+// cmpEntry orders entries by descending demand, ties broken by smaller
+// identifier — a strict total order, so any comparison sort yields the
+// same deterministic ranking.
+func cmpEntry(a, b entry) int {
+	switch {
+	case a.cnt != b.cnt:
+		if a.cnt > b.cnt {
+			return -1
+		}
+		return 1
+	case a.id != b.id:
+		if a.id < b.id {
+			return -1
+		}
+		return 1
+	default:
+		return 0
+	}
+}
+
 // TopK returns the k most-demanded items (all items when k exceeds the
 // support). Ties are broken deterministically by smaller identifier.
 func TopK(demand map[int]int64, k int) (Set, error) {
 	if k < 0 {
 		return nil, fmt.Errorf("similarity: negative k %d", k)
 	}
-	type entry struct {
-		id  int
-		cnt int64
-	}
 	entries := make([]entry, 0, len(demand))
 	for id, cnt := range demand {
 		entries = append(entries, entry{id: id, cnt: cnt})
 	}
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].cnt != entries[j].cnt {
-			return entries[i].cnt > entries[j].cnt
-		}
-		return entries[i].id < entries[j].id
-	})
+	slices.SortFunc(entries, cmpEntry)
 	if k > len(entries) {
 		k = len(entries)
 	}
@@ -152,20 +185,11 @@ func TopK(demand map[int]int64, k int) (Set, error) {
 // broken by smaller identifier. Used by cache-filling policies that
 // replicate "most popular first".
 func RankedIDs(demand map[int]int64) []int {
-	type entry struct {
-		id  int
-		cnt int64
-	}
 	entries := make([]entry, 0, len(demand))
 	for id, cnt := range demand {
 		entries = append(entries, entry{id: id, cnt: cnt})
 	}
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].cnt != entries[j].cnt {
-			return entries[i].cnt > entries[j].cnt
-		}
-		return entries[i].id < entries[j].id
-	})
+	slices.SortFunc(entries, cmpEntry)
 	out := make([]int, len(entries))
 	for i, e := range entries {
 		out[i] = e.id
