@@ -1,21 +1,28 @@
 // Command cdnbench runs the repository's headline performance
 // benchmarks programmatically and records the results as a JSON
-// artifact (BENCH_4.json by default) so CI can track ns/op, B/op, and
+// artifact (BENCH_5.json by default) so CI can track ns/op, B/op, and
 // allocs/op regressions across commits. The workload is fixed-seed and
 // matches the root bench_test.go configuration, so numbers are
-// comparable with `go test -bench=BenchmarkSchedule -benchmem .`.
+// comparable with `go test -bench=BenchmarkSchedule -benchmem .`. The
+// Server* lines measure the online service's ingest and lookup hot
+// paths through its real HTTP handlers (socketless).
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/mcmf"
+	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/similarity"
 	"repro/internal/stats"
@@ -157,7 +164,83 @@ func benchmarks(quick bool) ([]namedBench, error) {
 			}
 		}
 	}})
-	return out, nil
+
+	serverBenches, err := onlineBenches(world, demand)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, serverBenches...), nil
+}
+
+// onlineBenches measures the online service's two hot paths — POST
+// /ingest (decode, validate, nearest-hotspot resolve, striped
+// accumulate) and GET /redirect (atomic plan load + lookup) — through
+// the real HTTP handler, socketless. The lookup bench runs against a
+// live plan scheduled from the same demand as the Schedule benches.
+func onlineBenches(world *trace.World, demand *core.Demand) ([]namedBench, error) {
+	srv, err := server.New(server.Config{World: world, QueueBound: 1 << 30})
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.Start(); err != nil {
+		return nil, err
+	}
+	handler := srv.Handler()
+
+	// Seed the serving plan by replaying the bench demand through the
+	// public ingest + advance path.
+	for h := range demand.PerVideo {
+		for v, n := range demand.PerVideo[h] {
+			body := []byte(fmt.Sprintf(`{"user":1,"video":%d,"hotspot":%d}`, v, h))
+			for k := int64(0); k < n; k++ {
+				rr := httptest.NewRecorder()
+				handler.ServeHTTP(rr, httptest.NewRequest(http.MethodPost, "/ingest", bytes.NewReader(body)))
+				if rr.Code != http.StatusAccepted {
+					return nil, fmt.Errorf("seeding ingest: status %d", rr.Code)
+				}
+			}
+		}
+	}
+	if _, _, err := srv.AdvanceSlot(context.Background()); err != nil {
+		return nil, fmt.Errorf("seeding plan: %w", err)
+	}
+
+	rng := rand.New(rand.NewSource(9))
+	bodies := make([][]byte, 1024)
+	for i := range bodies {
+		x := world.Bounds.MinX + rng.Float64()*(world.Bounds.MaxX-world.Bounds.MinX)
+		y := world.Bounds.MinY + rng.Float64()*(world.Bounds.MaxY-world.Bounds.MinY)
+		bodies[i] = []byte(fmt.Sprintf(`{"user":%d,"video":%d,"x":%.4f,"y":%.4f}`,
+			rng.Intn(1000), rng.Intn(world.NumVideos), x, y))
+	}
+	lookups := make([]string, 1024)
+	for i := range lookups {
+		lookups[i] = fmt.Sprintf("/redirect?video=%d&hotspot=%d",
+			rng.Intn(world.NumVideos), rng.Intn(len(world.Hotspots)))
+	}
+
+	return []namedBench{
+		{name: "ServerIngest", fn: func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rr := httptest.NewRecorder()
+				handler.ServeHTTP(rr, httptest.NewRequest(http.MethodPost, "/ingest", bytes.NewReader(bodies[i%len(bodies)])))
+				if rr.Code != http.StatusAccepted {
+					b.Fatalf("ingest status %d", rr.Code)
+				}
+			}
+		}},
+		{name: "ServerLookup", fn: func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rr := httptest.NewRecorder()
+				handler.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, lookups[i%len(lookups)], nil))
+				if rr.Code != http.StatusOK {
+					b.Fatalf("lookup status %d", rr.Code)
+				}
+			}
+		}},
+	}, nil
 }
 
 // runSuite executes every benchmark and collects its artifact line.
@@ -188,7 +271,7 @@ func writeResults(path string, results []benchResult) error {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_4.json", "path of the JSON benchmark artifact")
+	out := flag.String("out", "BENCH_5.json", "path of the JSON benchmark artifact")
 	quick := flag.Bool("quick", false, "shrink the schedule workload for smoke runs")
 	flag.Parse()
 

@@ -8,7 +8,7 @@ import (
 )
 
 func TestWriteResultsRoundTrip(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "BENCH_4.json")
+	path := filepath.Join(t.TempDir(), "BENCH_5.json")
 	in := []benchResult{
 		{Name: "Schedule/workers=1", NsPerOp: 3.9e6, BytesPerOp: 1754278, AllocsPerOp: 1942},
 		{Name: "JaccardBitset", NsPerOp: 60.5, BytesPerOp: 0, AllocsPerOp: 0},
@@ -29,6 +29,37 @@ func TestWriteResultsRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRunSuite executes a trivial benchmark through the harness and
+// checks the artifact line it produces.
+func TestRunSuite(t *testing.T) {
+	results := runSuite([]namedBench{{name: "Noop", fn: func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+		}
+	}}})
+	if len(results) != 1 || results[0].Name != "Noop" || results[0].NsPerOp < 0 {
+		t.Fatalf("runSuite = %+v", results)
+	}
+}
+
+// TestRunQuickSuite executes the full quick suite end to end through
+// the harness — every benchmark body runs at least once and produces a
+// sane artifact line.
+func TestRunQuickSuite(t *testing.T) {
+	benches, err := benchmarks(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := runSuite(benches)
+	if len(results) != len(benches) {
+		t.Fatalf("%d results for %d benches", len(results), len(benches))
+	}
+	for _, res := range results {
+		if res.NsPerOp <= 0 {
+			t.Errorf("%s reported %v ns/op", res.Name, res.NsPerOp)
+		}
+	}
+}
+
 // TestBenchmarkSuiteShape checks the quick suite assembles the headline
 // benchmarks without running them (a full run is CI's job).
 func TestBenchmarkSuiteShape(t *testing.T) {
@@ -43,6 +74,8 @@ func TestBenchmarkSuiteShape(t *testing.T) {
 		"JaccardSet",
 		"JaccardBitset",
 		"MCMFSolveReuse",
+		"ServerIngest",
+		"ServerLookup",
 	}
 	if len(benches) != len(want) {
 		t.Fatalf("suite has %d benchmarks, want %d", len(benches), len(want))

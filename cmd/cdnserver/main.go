@@ -1,0 +1,185 @@
+// Command cdnserver runs the online scheduling service: it ingests
+// live user requests over HTTP/JSON, recomputes an RBCAer plan every
+// timeslot, and serves redirect lookups from the atomically swapped
+// current plan.
+//
+// Usage:
+//
+//	cdnserver [flags]
+//
+//	-addr ADDR        listen address (default 127.0.0.1:8370)
+//	-debug-addr ADDR  serve pprof/expvar/metrics on ADDR
+//	-world FILE       world JSON file (from cdntrace); when absent a
+//	                  small world is generated from -seed
+//	-slot DUR         timeslot length (default 10s; 0 = manual slots
+//	                  via POST /admin/advance)
+//	-shards N         demand accumulator lock stripes
+//	-queue N          per-stripe backpressure bound (429 beyond it)
+//	-history N        per-slot plan records retained for GET /plans
+//	-drain DUR        graceful-shutdown drain timeout
+//	-seed N           world-generation seed (no -world only)
+//	-smoke            boot on an ephemeral port, replay a generated
+//	                  trace through the server over real HTTP, verify
+//	                  every slot scheduled, shut down cleanly, exit
+//
+// The HTTP API is POST /ingest, GET /redirect, GET /plans,
+// GET /healthz, and POST /admin/advance (see internal/server).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	crowdcdn "repro"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "cdnserver: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cdnserver", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8370", "listen address")
+	debugAddr := fs.String("debug-addr", "", "serve pprof/expvar/metrics on this address")
+	worldPath := fs.String("world", "", "world JSON file (default: generate from -seed)")
+	slot := fs.Duration("slot", 10*time.Second, "timeslot length (0 = manual slots)")
+	shards := fs.Int("shards", 0, "demand lock stripes (0 = default)")
+	queue := fs.Int("queue", 0, "per-stripe backpressure bound (0 = default)")
+	history := fs.Int("history", 0, "plan records retained (0 = default)")
+	drain := fs.Duration("drain", 0, "graceful-shutdown drain timeout (0 = default)")
+	seed := fs.Int64("seed", 1, "world-generation seed")
+	smoke := fs.Bool("smoke", false, "end-to-end smoke: boot, replay a generated trace, exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *smoke {
+		return runSmoke(*seed)
+	}
+
+	world, err := loadWorld(*worldPath, *seed)
+	if err != nil {
+		return err
+	}
+	reg := crowdcdn.NewMetricsRegistry()
+	if *debugAddr != "" {
+		_, dbg, err := crowdcdn.ServeDebug(*debugAddr, reg, nil)
+		if err != nil {
+			return fmt.Errorf("starting debug server: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "cdnserver: debug server on http://%s/debug/metrics\n", dbg)
+	}
+
+	srv, err := crowdcdn.NewServer(crowdcdn.ServerConfig{
+		World:        world,
+		Addr:         *addr,
+		Shards:       *shards,
+		QueueBound:   *queue,
+		SlotDuration: *slot,
+		PlanHistory:  *history,
+		DrainTimeout: *drain,
+		Registry:     reg,
+	})
+	if err != nil {
+		return err
+	}
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "cdnserver: serving %d hotspots on http://%s (slot %v)\n",
+		len(world.Hotspots), srv.Addr(), *slot)
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	<-ctx.Done()
+	fmt.Fprintln(os.Stderr, "cdnserver: shutting down")
+	return srv.Close()
+}
+
+// smokeConfig is a deliberately small deployment so the smoke run
+// finishes in seconds.
+func smokeConfig(seed int64) crowdcdn.TraceConfig {
+	cfg := crowdcdn.DefaultTraceConfig()
+	cfg.Seed = seed
+	cfg.NumHotspots = 16
+	cfg.NumVideos = 400
+	cfg.NumUsers = 400
+	cfg.NumRequests = 1500
+	cfg.Slots = 4
+	cfg.NumRegions = 3
+	return cfg
+}
+
+// runSmoke is the CI end-to-end check: boot the server on an ephemeral
+// port with manual slots, replay a generated trace through it over real
+// HTTP, require every slot to have scheduled a plan with no rejections,
+// and shut down cleanly.
+func runSmoke(seed int64) error {
+	world, tr, err := crowdcdn.Generate(smokeConfig(seed))
+	if err != nil {
+		return err
+	}
+	reg := crowdcdn.NewMetricsRegistry()
+	srv, err := crowdcdn.NewServer(crowdcdn.ServerConfig{
+		World:       world,
+		Registry:    reg,
+		PlanHistory: tr.Slots + 1,
+	})
+	if err != nil {
+		return err
+	}
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	report, err := crowdcdn.ReplayTrace("http://"+srv.Addr(), world, tr, crowdcdn.LoadgenOptions{Workers: 8})
+	if err != nil {
+		srv.Close()
+		return fmt.Errorf("replay: %w", err)
+	}
+	for _, sr := range report.Slots {
+		status := "scheduled"
+		if !sr.Scheduled {
+			status = "empty"
+		}
+		fmt.Printf("slot %d: sent %d accepted %d rejected %d %s epoch %d digest %s\n",
+			sr.Slot, sr.Sent, sr.Accepted, sr.Rejected, status, sr.Epoch, sr.Digest)
+	}
+	if err := srv.Close(); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if report.Accepted != int64(len(tr.Requests)) || report.Rejected != 0 {
+		return fmt.Errorf("accepted %d rejected %d of %d requests", report.Accepted, report.Rejected, len(tr.Requests))
+	}
+	for _, sr := range report.Slots {
+		if sr.Sent > 0 && !sr.Scheduled {
+			return fmt.Errorf("slot %d ingested %d requests but scheduled no plan", sr.Slot, sr.Sent)
+		}
+	}
+	fmt.Printf("smoke ok: %d requests over %d slots, %d plans\n",
+		report.Accepted, len(report.Slots), len(srv.Plans()))
+	return nil
+}
+
+func loadWorld(path string, seed int64) (*crowdcdn.World, error) {
+	if path == "" {
+		world, _, err := crowdcdn.Generate(smokeConfig(seed))
+		return world, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	world, err := crowdcdn.ReadWorld(f)
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	return world, nil
+}

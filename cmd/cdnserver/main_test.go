@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	crowdcdn "repro"
+)
+
+// TestSmoke runs the full -smoke path: boot on an ephemeral port,
+// replay a generated trace over real HTTP, verify, shut down.
+func TestSmoke(t *testing.T) {
+	if err := run([]string{"-smoke", "-seed", "3"}); err != nil {
+		t.Fatalf("run -smoke: %v", err)
+	}
+}
+
+// TestServeModeShutdown boots the real serve loop (ephemeral port,
+// timed slots, debug server) and delivers SIGTERM to the process; run
+// must drain and return cleanly.
+func TestServeModeShutdown(t *testing.T) {
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-debug-addr", "127.0.0.1:0", "-slot", "50ms", "-seed", "2"})
+	}()
+	// Give the server time to boot and tick at least once, then ask it
+	// to shut down the way a supervisor would.
+	time.Sleep(300 * time.Millisecond)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve loop did not shut down on SIGTERM")
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if err := run([]string{"-world", "/does/not/exist.json"}); err == nil {
+		t.Fatal("missing world file accepted")
+	}
+}
+
+func TestLoadWorldFromFile(t *testing.T) {
+	world, _, err := crowdcdn.Generate(smokeConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "world.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := crowdcdn.WriteWorld(f, world); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := loadWorld(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Hotspots) != len(world.Hotspots) || got.NumVideos != world.NumVideos {
+		t.Fatalf("loaded world %d hotspots / %d videos, want %d / %d",
+			len(got.Hotspots), got.NumVideos, len(world.Hotspots), world.NumVideos)
+	}
+}

@@ -39,6 +39,8 @@ import (
 	"repro/internal/predict"
 	"repro/internal/region"
 	"repro/internal/scheme"
+	"repro/internal/server"
+	"repro/internal/server/loadgen"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -134,6 +136,35 @@ type (
 	// cluster / balance / replicate phases.
 	PhaseTimings = obs.PhaseTimings
 )
+
+// Online serving (see internal/server and DESIGN.md §10). A Server
+// ingests live requests over HTTP, recomputes an RBCAer plan each
+// timeslot on a dedicated worker, and serves redirect lookups from an
+// atomically swapped immutable plan. Fed the same trace, it produces
+// plans byte-identical to Simulate's.
+type (
+	// ServerConfig configures an online scheduling server.
+	ServerConfig = server.Config
+	// Server is one online scheduling service instance.
+	Server = server.Server
+	// PlanRecord is one retained per-slot plan summary.
+	PlanRecord = server.PlanRecord
+	// LoadgenOptions tune a trace replay against a running server.
+	LoadgenOptions = loadgen.Options
+	// LoadgenReport is the outcome of a replay.
+	LoadgenReport = loadgen.Report
+)
+
+// NewServer validates the configuration and builds an online scheduling
+// server (start it with Start, stop it with Close).
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// ReplayTrace drives a trace through a running server slot by slot
+// (POST /ingest + POST /admin/advance) and reports per-slot outcomes,
+// including each served plan's digest.
+func ReplayTrace(baseURL string, world *World, tr *Trace, opts LoadgenOptions) (*LoadgenReport, error) {
+	return loadgen.Replay(baseURL, world, tr, opts)
+}
 
 // NewMetricsRegistry returns an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }

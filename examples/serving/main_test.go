@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// TestRun executes the walkthrough end to end: in-process server, HTTP
+// trace replay, plan history, lookups, and the metrics dump.
+func TestRun(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"hash/fnv"
+	"strconv"
+)
+
+// AppendCanonical appends a deterministic textual encoding of the
+// plan's logical content to b and returns the extended buffer. Two
+// plans encode identically iff they make the same scheduling decisions:
+// the encoding covers flows, redirects, placement (video ids in sorted
+// order), CDN overflow, and the degraded flag. Wall-clock stats and
+// trace events are deliberately excluded — they never enter the
+// determinism contract (see DESIGN.md §8). The flow and redirect slices
+// are already in deterministic order for a deterministic round
+// (TestScheduleRunTwiceIdentical), so the bytes are reproducible across
+// processes, worker counts, and the online/offline entry points.
+func (p *Plan) AppendCanonical(b []byte) []byte {
+	b = append(b, "plan v1\ndegraded "...)
+	b = appendBool(b, p.Degraded)
+	b = append(b, "\nflows "...)
+	b = strconv.AppendInt(b, int64(len(p.Flows)), 10)
+	b = append(b, '\n')
+	for _, f := range p.Flows {
+		b = append(b, 'f', ' ')
+		b = strconv.AppendInt(b, int64(f.From), 10)
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, int64(f.To), 10)
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, f.Amount, 10)
+		b = append(b, '\n')
+	}
+	b = append(b, "redirects "...)
+	b = strconv.AppendInt(b, int64(len(p.Redirects)), 10)
+	b = append(b, '\n')
+	for _, r := range p.Redirects {
+		b = append(b, 'r', ' ')
+		b = strconv.AppendInt(b, int64(r.From), 10)
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, int64(r.To), 10)
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, int64(r.Video), 10)
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, r.Count, 10)
+		b = append(b, '\n')
+	}
+	b = append(b, "placement "...)
+	b = strconv.AppendInt(b, int64(len(p.Placement)), 10)
+	b = append(b, '\n')
+	for h, set := range p.Placement {
+		b = append(b, 'p', ' ')
+		b = strconv.AppendInt(b, int64(h), 10)
+		for _, v := range set.Sorted() {
+			b = append(b, ' ')
+			b = strconv.AppendInt(b, int64(v), 10)
+		}
+		b = append(b, '\n')
+	}
+	b = append(b, "overflow"...)
+	for _, o := range p.OverflowToCDN {
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, o, 10)
+	}
+	return append(b, '\n')
+}
+
+// Canonical returns the plan's canonical encoding (AppendCanonical into
+// a fresh buffer).
+func (p *Plan) Canonical() []byte { return p.AppendCanonical(nil) }
+
+// Digest returns the FNV-1a hash of the plan's canonical encoding: a
+// compact fingerprint for plan-identity checks (the serving layer
+// exposes it so lookups can be matched to the exact plan that answered
+// them).
+func (p *Plan) Digest() uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(p.Canonical())
+	return h.Sum64()
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, '1')
+	}
+	return append(b, '0')
+}

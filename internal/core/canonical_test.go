@@ -1,0 +1,70 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/similarity"
+)
+
+// TestCanonicalDeterministic locks in the canonical encoding's
+// reproducibility: scheduling the same demand on fresh schedulers must
+// yield byte-identical canonical plans and equal digests.
+func TestCanonicalDeterministic(t *testing.T) {
+	w := lineWorld(12, 0.4, 55, 30)
+	d := randomDemand(w, 500, 120, 9)
+	a := mustPlan(t, w, DefaultParams(), d)
+	b := mustPlan(t, w, DefaultParams(), d)
+	if !bytes.Equal(a.Canonical(), b.Canonical()) {
+		t.Fatalf("canonical encodings differ for identical rounds:\n%s\nvs\n%s", a.Canonical(), b.Canonical())
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatalf("digests differ: %x vs %x", a.Digest(), b.Digest())
+	}
+}
+
+// TestCanonicalDistinguishesPlans checks the encoding reflects every
+// logical plan field: perturbing any one of them changes the bytes.
+func TestCanonicalDistinguishesPlans(t *testing.T) {
+	base := func() *Plan {
+		return &Plan{
+			Flows:         []FlowEdge{{From: 0, To: 1, Amount: 3}},
+			Redirects:     []Redirect{{From: 0, To: 1, Video: 7, Count: 2}},
+			Placement:     []similarity.Set{similarity.NewSet(1, 2), similarity.NewSet(7)},
+			OverflowToCDN: []int64{0, 4},
+		}
+	}
+	ref := base().Canonical()
+	mutations := map[string]func(*Plan){
+		"flow amount":     func(p *Plan) { p.Flows[0].Amount = 4 },
+		"redirect video":  func(p *Plan) { p.Redirects[0].Video = 8 },
+		"redirect count":  func(p *Plan) { p.Redirects[0].Count = 1 },
+		"placement video": func(p *Plan) { p.Placement[1] = similarity.NewSet(9) },
+		"overflow":        func(p *Plan) { p.OverflowToCDN[1] = 5 },
+		"degraded":        func(p *Plan) { p.Degraded = true },
+	}
+	for name, mutate := range mutations {
+		p := base()
+		mutate(p)
+		if bytes.Equal(ref, p.Canonical()) {
+			t.Errorf("%s: mutation not reflected in canonical encoding", name)
+		}
+	}
+	// Stats and events are excluded by design.
+	p := base()
+	p.Stats.MovedFlow = 99
+	p.Events = nil
+	if !bytes.Equal(ref, p.Canonical()) {
+		t.Errorf("stats leaked into the canonical encoding")
+	}
+}
+
+// TestCanonicalSetOrderIndependent checks placement serialisation does
+// not depend on map insertion order.
+func TestCanonicalSetOrderIndependent(t *testing.T) {
+	a := &Plan{Placement: []similarity.Set{similarity.NewSet(3, 1, 2)}, OverflowToCDN: []int64{0}}
+	b := &Plan{Placement: []similarity.Set{similarity.NewSet(2, 3, 1)}, OverflowToCDN: []int64{0}}
+	if !bytes.Equal(a.Canonical(), b.Canonical()) {
+		t.Fatalf("set insertion order leaked into canonical bytes")
+	}
+}

@@ -62,6 +62,7 @@ func (p *RBCAer) Schedule(ctx *sim.SlotContext) (*sim.Assignment, error) {
 	asg.StrandedDemand = plan.Stats.StrandedToCDN
 	asg.Phases = plan.Stats.Phases
 	asg.Events = plan.Events
+	asg.Plan = plan
 	return asg, nil
 }
 

@@ -1,0 +1,147 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// Default configuration values, applied by New for zero-valued fields.
+const (
+	DefaultShards       = 16
+	DefaultQueueBound   = 1 << 16
+	DefaultPlanHistory  = 64
+	DefaultMaxBodyBytes = 1 << 16
+	DefaultDrainTimeout = 5 * time.Second
+
+	// maxShards bounds the lock-stripe count: beyond this the stripes
+	// stop reducing contention and only waste memory.
+	maxShards = 1 << 12
+	// maxSnapshotQueue bounds the number of slot snapshots awaiting
+	// recomputation. When the scheduler falls this far behind the slot
+	// ticker, newer snapshots are coalesced into the newest queued one
+	// (demand counts commute) instead of growing the queue without
+	// bound or blocking the ticker; coalesced ticks surface as the
+	// server.slots.coalesced counter.
+	maxSnapshotQueue = 4
+)
+
+// Config configures an online scheduling server.
+type Config struct {
+	// World is the deployment the server schedules for. Required.
+	World *trace.World
+	// Params are RBCAer's parameters; the zero value selects
+	// core.DefaultParams. Params.Deadline bounds each slot's
+	// recomputation wall clock (the PR-2 degradation path): an
+	// overrunning round still swaps in its best partial plan.
+	Params core.Params
+	// Addr is the listen address ("host:port"; port 0 picks an
+	// ephemeral port). Empty selects "127.0.0.1:0".
+	Addr string
+	// Shards is the number of lock stripes the per-hotspot demand
+	// accumulators are spread over. Hotspot h is owned by stripe
+	// h mod Shards, so concurrent ingests for different stripes never
+	// contend. 0 selects DefaultShards.
+	Shards int
+	// QueueBound caps the accepted-but-not-yet-snapshotted requests
+	// per stripe. An ingest that would exceed its stripe's bound is
+	// rejected with 429 (backpressure); accepted requests are never
+	// dropped. 0 selects DefaultQueueBound.
+	QueueBound int
+	// SlotDuration is the timeslot length: every SlotDuration the
+	// ticker snapshots accumulated demand and hands it to the
+	// asynchronous recompute worker. 0 disables the ticker — slots
+	// then advance only through AdvanceSlot / POST /admin/advance,
+	// the deterministic mode the e2e harness replays traces in.
+	SlotDuration time.Duration
+	// PlanHistory is the number of per-slot plan records (canonical
+	// bytes + digest) retained for /plans. 0 selects
+	// DefaultPlanHistory.
+	PlanHistory int
+	// MaxBodyBytes caps an ingest request body. 0 selects
+	// DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// DrainTimeout bounds graceful shutdown: how long Close waits for
+	// in-flight HTTP requests before cutting them off. 0 selects
+	// DefaultDrainTimeout.
+	DrainTimeout time.Duration
+	// Registry, when non-nil, receives the server's metrics
+	// (server.ingest.*, server.lookup.*, server.slots*, server.plan.*,
+	// and the server.slot.latency_ms histogram). Nil allocates a
+	// private registry so counters still work internally.
+	Registry *obs.Registry
+	// Tracer, when non-nil, receives one "swap" event per recomputed
+	// slot.
+	Tracer *obs.Tracer
+}
+
+// Validate checks the configuration. Zero values are valid wherever a
+// default exists; only actively inconsistent settings are rejected.
+func (c Config) Validate() error {
+	if c.World == nil {
+		return fmt.Errorf("server: nil world")
+	}
+	if err := c.World.Validate(); err != nil {
+		return fmt.Errorf("server: invalid world: %w", err)
+	}
+	if c.Params != (core.Params{}) {
+		if err := c.Params.Validate(); err != nil {
+			return fmt.Errorf("server: invalid params: %w", err)
+		}
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("server: negative Shards %d", c.Shards)
+	}
+	if c.Shards > maxShards {
+		return fmt.Errorf("server: Shards %d above the %d stripe cap", c.Shards, maxShards)
+	}
+	if c.QueueBound < 0 {
+		return fmt.Errorf("server: negative QueueBound %d", c.QueueBound)
+	}
+	if c.SlotDuration < 0 {
+		return fmt.Errorf("server: negative SlotDuration %v", c.SlotDuration)
+	}
+	if c.PlanHistory < 0 {
+		return fmt.Errorf("server: negative PlanHistory %d", c.PlanHistory)
+	}
+	if c.MaxBodyBytes < 0 {
+		return fmt.Errorf("server: negative MaxBodyBytes %d", c.MaxBodyBytes)
+	}
+	if c.DrainTimeout < 0 {
+		return fmt.Errorf("server: negative DrainTimeout %v", c.DrainTimeout)
+	}
+	return nil
+}
+
+// withDefaults returns the config with every zero-valued knob replaced
+// by its default.
+func (c Config) withDefaults() Config {
+	if c.Params == (core.Params{}) {
+		c.Params = core.DefaultParams()
+	}
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.Shards == 0 {
+		c.Shards = DefaultShards
+	}
+	if c.QueueBound == 0 {
+		c.QueueBound = DefaultQueueBound
+	}
+	if c.PlanHistory == 0 {
+		c.PlanHistory = DefaultPlanHistory
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = DefaultDrainTimeout
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	return c
+}

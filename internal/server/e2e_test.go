@@ -1,0 +1,168 @@
+package server_test
+
+import (
+	"encoding/hex"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/scheme"
+	"repro/internal/server"
+	"repro/internal/server/loadgen"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// e2eWorldAndTrace generates a small but non-trivial deployment: a few
+// regions, enough demand per slot that RBCAer actually redirects and
+// places content, several slots.
+func e2eWorldAndTrace(t *testing.T) (*trace.World, *trace.Trace) {
+	t.Helper()
+	cfg := trace.DefaultConfig()
+	cfg.Seed = 7
+	cfg.NumHotspots = 24
+	cfg.NumVideos = 600
+	cfg.NumUsers = 800
+	cfg.NumRequests = 3000
+	cfg.Slots = 6
+	cfg.NumRegions = 4
+	world, tr, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return world, tr
+}
+
+// TestServerMatchesOfflineSim is the byte-identity certification:
+// replaying a fixed trace through the live server (real HTTP, real
+// concurrent ingest) must yield per-slot plans byte-identical to the
+// plans sim.Run computes for the same trace offline. This pins down
+// the whole online pipeline — nearest-hotspot resolution, demand
+// accumulation, capacity inputs, and ScheduleRound determinism.
+func TestServerMatchesOfflineSim(t *testing.T) {
+	world, tr := e2eWorldAndTrace(t)
+	params := core.DefaultParams()
+
+	// Offline reference: collect every slot's canonical plan bytes.
+	offline := make(map[int]string)
+	_, err := sim.Run(world, tr, scheme.NewRBCAer(params), sim.Options{
+		PlanSink: func(slot int, plan *core.Plan) {
+			offline[slot] = hex.EncodeToString(plan.Canonical())
+		},
+	})
+	if err != nil {
+		t.Fatalf("sim.Run: %v", err)
+	}
+	if len(offline) == 0 {
+		t.Fatalf("offline run produced no plans")
+	}
+
+	// Online replay over real HTTP.
+	reg := obs.NewRegistry()
+	srv, err := server.New(server.Config{
+		World:       world,
+		Params:      params,
+		Registry:    reg,
+		PlanHistory: tr.Slots + 1,
+		QueueBound:  1 << 20,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer srv.Close()
+
+	report, err := loadgen.Replay("http://"+srv.Addr(), world, tr, loadgen.Options{Workers: 8})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if report.Rejected != 0 {
+		t.Fatalf("%d requests rejected — QueueBound too small for byte-identity", report.Rejected)
+	}
+	if report.Accepted != int64(len(tr.Requests)) {
+		t.Fatalf("accepted %d of %d requests", report.Accepted, len(tr.Requests))
+	}
+
+	online := make(map[int]string)
+	for _, rec := range srv.Plans() {
+		online[rec.Slot] = rec.Canonical
+	}
+	if len(online) != len(offline) {
+		t.Fatalf("online scheduled %d slots, offline %d", len(online), len(offline))
+	}
+	for slot, want := range offline {
+		got, ok := online[slot]
+		if !ok {
+			t.Errorf("slot %d: no online plan", slot)
+			continue
+		}
+		if got != want {
+			t.Errorf("slot %d: online plan differs from offline (%d vs %d hex bytes)",
+				slot, len(got), len(want))
+		}
+	}
+
+	// The digests the replay saw at each advance match the server's own
+	// plan records — the loadgen report is a faithful view of what was
+	// served.
+	digests := make(map[int]string)
+	for _, rec := range srv.Plans() {
+		digests[rec.Slot] = rec.Digest
+	}
+	for _, sr := range report.Slots {
+		if !sr.Scheduled {
+			t.Errorf("slot %d not scheduled (sent %d)", sr.Slot, sr.Sent)
+			continue
+		}
+		if sr.Digest != digests[sr.Slot] {
+			t.Errorf("slot %d: advance digest %s, plan record digest %s", sr.Slot, sr.Digest, digests[sr.Slot])
+		}
+	}
+}
+
+// TestReplayByHotspot exercises loadgen's pre-resolved aggregation mode
+// against the same byte-identity bar: resolving nearest hotspots on the
+// client side must not change the plans.
+func TestReplayByHotspot(t *testing.T) {
+	world, tr := e2eWorldAndTrace(t)
+	params := core.DefaultParams()
+
+	offline := make(map[int]string)
+	_, err := sim.Run(world, tr, scheme.NewRBCAer(params), sim.Options{
+		PlanSink: func(slot int, plan *core.Plan) {
+			offline[slot] = hex.EncodeToString(plan.Canonical())
+		},
+	})
+	if err != nil {
+		t.Fatalf("sim.Run: %v", err)
+	}
+
+	srv, err := server.New(server.Config{
+		World:       world,
+		Params:      params,
+		PlanHistory: tr.Slots + 1,
+		QueueBound:  1 << 20,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer srv.Close()
+
+	report, err := loadgen.Replay("http://"+srv.Addr(), world, tr, loadgen.Options{Workers: 4, ByHotspot: true})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if report.Rejected != 0 {
+		t.Fatalf("%d rejected", report.Rejected)
+	}
+	for _, rec := range srv.Plans() {
+		if offline[rec.Slot] != rec.Canonical {
+			t.Errorf("slot %d: by-hotspot replay diverged from offline plan", rec.Slot)
+		}
+	}
+}

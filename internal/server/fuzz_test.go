@@ -1,0 +1,55 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzIngest holds the ingestion decoder to its no-panic contract:
+// whatever bytes arrive — malformed JSON, unknown fields, negative or
+// out-of-range ids, non-finite locations, oversized payloads — decoding
+// and resolution must return an error or a valid aggregation point,
+// never panic. Any (hotspot, video) pair it does accept must be in
+// range, since it is used to index demand accumulators directly.
+func FuzzIngest(f *testing.F) {
+	seeds := []string{
+		`{"user":1,"video":2,"hotspot":3}`,
+		`{"user":1,"video":2,"x":1.5,"y":-0.25}`,
+		`{"user":-9223372036854775808,"video":9223372036854775807}`,
+		`{"video":-1,"hotspot":-1}`,
+		`{"user":1,"video":2,"x":1e999,"y":0}`,
+		`{"user":1,"video":2,"hotspot":0}{"user":2}`,
+		`{"user":1,"video":2,"hotspot":0,"extra":true}`,
+		`{"user":`,
+		`[]`,
+		`null`,
+		`"string"`,
+		``,
+		"\x00\xff\xfe",
+		`{"user":1,"video":2,"hotspot":0,"pad":"` + strings.Repeat("a", 1<<12) + `"}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	world := testWorld(4, 5, 5)
+	index, err := world.Index()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := decodeIngest(data)
+		if err != nil {
+			return
+		}
+		h, v, err := resolveIngest(world, index, req)
+		if err != nil {
+			return
+		}
+		if h < 0 || h >= len(world.Hotspots) {
+			t.Fatalf("resolved hotspot %d outside [0, %d)", h, len(world.Hotspots))
+		}
+		if int(v) < 0 || int(v) >= world.NumVideos {
+			t.Fatalf("resolved video %d outside [0, %d)", v, world.NumVideos)
+		}
+	})
+}

@@ -1,0 +1,154 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/trace"
+)
+
+// ingestRequest is the wire form of one POST /ingest body. The request
+// names its aggregation point either explicitly ("hotspot") or by user
+// location ("x"/"y" in km), in which case the server resolves the
+// nearest hotspot exactly as the offline simulator does.
+type ingestRequest struct {
+	User    int64    `json:"user"`
+	Video   int64    `json:"video"`
+	Hotspot *int64   `json:"hotspot"`
+	X       *float64 `json:"x"`
+	Y       *float64 `json:"y"`
+}
+
+// decodeIngest parses one ingest body. It is strict — unknown fields
+// and trailing data are rejected — and must never panic, whatever the
+// bytes (FuzzIngest holds it to that).
+func decodeIngest(data []byte) (ingestRequest, error) {
+	var req ingestRequest
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return ingestRequest{}, fmt.Errorf("malformed body: %w", err)
+	}
+	if dec.More() {
+		return ingestRequest{}, fmt.Errorf("trailing data after request object")
+	}
+	return req, nil
+}
+
+// resolveIngest validates the request against the world and returns the
+// aggregation hotspot and video. Nearest-hotspot resolution uses the
+// same spatial index as sim.BuildSlotContext, so a replayed trace
+// aggregates identically online and offline.
+func resolveIngest(world *trace.World, index *geo.Grid, req ingestRequest) (hotspot int, video trace.VideoID, err error) {
+	if req.Video < 0 || req.Video >= int64(world.NumVideos) {
+		return 0, 0, fmt.Errorf("video %d outside [0, %d)", req.Video, world.NumVideos)
+	}
+	if req.Hotspot != nil {
+		h := *req.Hotspot
+		if h < 0 || h >= int64(len(world.Hotspots)) {
+			return 0, 0, fmt.Errorf("hotspot %d outside [0, %d)", h, len(world.Hotspots))
+		}
+		return int(h), trace.VideoID(req.Video), nil
+	}
+	if req.X == nil || req.Y == nil {
+		return 0, 0, fmt.Errorf("need either hotspot or both x and y")
+	}
+	x, y := *req.X, *req.Y
+	if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+		return 0, 0, fmt.Errorf("non-finite location (%v, %v)", x, y)
+	}
+	h, _, ok := index.Nearest(geo.Point{X: x, Y: y})
+	if !ok {
+		return 0, 0, fmt.Errorf("no hotspot indexed")
+	}
+	return h, trace.VideoID(req.Video), nil
+}
+
+// demandShard is one lock stripe of the per-hotspot demand
+// accumulators. Hotspot h belongs to stripe h mod Shards, so its
+// counters are only ever touched under this stripe's lock.
+type demandShard struct {
+	mu sync.Mutex
+	// pending is the number of accepted requests not yet snapshotted;
+	// the backpressure bound applies to it.
+	pending int64
+	// perVideo[h][v] counts accepted requests for video v aggregated
+	// at hotspot h (only hotspots owned by this stripe appear).
+	perVideo map[trace.HotspotID]map[trace.VideoID]int64
+}
+
+// add records one accepted request, or reports false when the stripe is
+// at its bound (the caller answers 429).
+func (sh *demandShard) add(h trace.HotspotID, v trace.VideoID, bound int64) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.pending >= bound {
+		return false
+	}
+	if sh.perVideo == nil {
+		sh.perVideo = make(map[trace.HotspotID]map[trace.VideoID]int64)
+	}
+	m := sh.perVideo[h]
+	if m == nil {
+		m = make(map[trace.VideoID]int64)
+		sh.perVideo[h] = m
+	}
+	m[v]++
+	sh.pending++
+	return true
+}
+
+// drain atomically takes the stripe's accumulated demand, leaving it
+// empty. The snapshot owns the returned maps outright.
+func (sh *demandShard) drain() (map[trace.HotspotID]map[trace.VideoID]int64, int64) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	out, n := sh.perVideo, sh.pending
+	sh.perVideo = nil
+	sh.pending = 0
+	return out, n
+}
+
+// drainDemand collects every stripe into one core.Demand, returning nil
+// when nothing was accepted since the last snapshot. Each stripe is
+// locked only for the O(1) map handoff; merging happens outside the
+// locks.
+func drainDemand(shards []*demandShard, numHotspots int) (*core.Demand, int64) {
+	var total int64
+	parts := make([]map[trace.HotspotID]map[trace.VideoID]int64, 0, len(shards))
+	for _, sh := range shards {
+		part, n := sh.drain()
+		if n > 0 {
+			parts = append(parts, part)
+			total += n
+		}
+	}
+	if total == 0 {
+		return nil, 0
+	}
+	d := core.NewDemand(numHotspots)
+	for _, part := range parts {
+		for h, videos := range part {
+			for v, n := range videos {
+				d.Add(h, v, n)
+			}
+		}
+	}
+	return d, total
+}
+
+// mergeDemand folds src into dst (used when a lagging recompute worker
+// forces snapshot coalescing; demand counts commute, so no accepted
+// request is ever lost).
+func mergeDemand(dst, src *core.Demand) {
+	for h := range src.PerVideo {
+		for v, n := range src.PerVideo[h] {
+			dst.Add(trace.HotspotID(h), v, n)
+		}
+	}
+}

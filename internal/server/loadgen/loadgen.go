@@ -1,0 +1,224 @@
+// Package loadgen replays an offline trace against a running online
+// scheduling server (internal/server) deterministically: each
+// timeslot's requests are POSTed to /ingest (concurrently — per-slot
+// demand counts commute, so posting order cannot change the resulting
+// plan), then the slot boundary is forced with POST /admin/advance,
+// which blocks until the slot's plan is live. The per-slot report
+// carries the served plan's epoch and digest so harnesses can compare
+// the replay against an offline sim.Run of the same trace byte for
+// byte.
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/geo"
+	"repro/internal/trace"
+)
+
+// Options tunes a replay.
+type Options struct {
+	// Workers is the number of concurrent ingest posters per slot.
+	// 0 selects 4.
+	Workers int
+	// Client issues the HTTP requests. Nil selects a default client.
+	Client *http.Client
+	// ByHotspot posts {"hotspot":h} aggregation instead of the request
+	// location. Off by default: posting x/y exercises the server's
+	// nearest-hotspot resolution (the same code path the simulator
+	// aggregates with).
+	ByHotspot bool
+}
+
+// SlotReport is the outcome of replaying one timeslot.
+type SlotReport struct {
+	Slot     int   `json:"slot"`
+	Sent     int   `json:"sent"`
+	Accepted int64 `json:"accepted"`
+	Rejected int64 `json:"rejected"`
+	// Scheduled reports whether the advance produced a plan for this
+	// slot (false for slots with no accepted requests).
+	Scheduled bool   `json:"scheduled"`
+	Epoch     int64  `json:"epoch"`
+	Digest    string `json:"digest"`
+}
+
+// Report is the outcome of a full replay.
+type Report struct {
+	Slots    []SlotReport `json:"slots"`
+	Sent     int          `json:"sent"`
+	Accepted int64        `json:"accepted"`
+	Rejected int64        `json:"rejected"`
+}
+
+// ingestBody mirrors the server's wire form.
+type ingestBody struct {
+	User    int64    `json:"user"`
+	Video   int64    `json:"video"`
+	Hotspot *int64   `json:"hotspot,omitempty"`
+	X       *float64 `json:"x,omitempty"`
+	Y       *float64 `json:"y,omitempty"`
+}
+
+// Replay drives the full trace through the server at baseURL
+// ("http://host:port"), slot by slot. Any HTTP or transport failure
+// aborts the replay; 429 rejections are counted, not retried, so a
+// harness asserting byte-identity should size the server's QueueBound
+// above the largest slot.
+func Replay(baseURL string, world *trace.World, tr *trace.Trace, opts Options) (*Report, error) {
+	if err := tr.Validate(world); err != nil {
+		return nil, fmt.Errorf("loadgen: %w", err)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+
+	report := &Report{}
+	for slot, reqs := range tr.BySlot() {
+		sr, err := replaySlot(client, baseURL, slot, reqs, workers, opts.ByHotspot, world)
+		if err != nil {
+			return report, err
+		}
+		report.Slots = append(report.Slots, sr)
+		report.Sent += sr.Sent
+		report.Accepted += sr.Accepted
+		report.Rejected += sr.Rejected
+	}
+	return report, nil
+}
+
+// replaySlot posts one slot's requests and forces the slot boundary.
+func replaySlot(client *http.Client, baseURL string, slot int, reqs []trace.Request, workers int, byHotspot bool, world *trace.World) (SlotReport, error) {
+	sr := SlotReport{Slot: slot, Sent: len(reqs)}
+	var accepted, rejected atomic.Int64
+	errs := make(chan error, workers)
+	work := make(chan trace.Request)
+	var wg sync.WaitGroup
+	var index *geo.Grid
+	if byHotspot {
+		g, err := world.Index()
+		if err != nil {
+			return sr, fmt.Errorf("loadgen: %w", err)
+		}
+		index = g
+	}
+	// failed makes workers drain the channel without posting once any
+	// of them errors, so the feeding loop below never blocks.
+	var failed atomic.Bool
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for req := range work {
+				if failed.Load() {
+					continue
+				}
+				status, err := postIngest(client, baseURL, req, index)
+				if err != nil {
+					failed.Store(true)
+					select {
+					case errs <- err:
+					default:
+					}
+					continue
+				}
+				switch status {
+				case http.StatusAccepted:
+					accepted.Add(1)
+				case http.StatusTooManyRequests:
+					rejected.Add(1)
+				default:
+					failed.Store(true)
+					select {
+					case errs <- fmt.Errorf("loadgen: ingest status %d", status):
+					default:
+					}
+				}
+			}
+		}()
+	}
+	for _, req := range reqs {
+		work <- req
+	}
+	close(work)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return sr, err
+	default:
+	}
+	sr.Accepted = accepted.Load()
+	sr.Rejected = rejected.Load()
+
+	adv, err := advance(client, baseURL)
+	if err != nil {
+		return sr, err
+	}
+	sr.Scheduled = adv.Scheduled
+	sr.Epoch = adv.Epoch
+	sr.Digest = adv.Digest
+	return sr, nil
+}
+
+// postIngest sends one request and returns the HTTP status.
+func postIngest(client *http.Client, baseURL string, req trace.Request, index *geo.Grid) (int, error) {
+	body := ingestBody{User: int64(req.User), Video: int64(req.Video)}
+	if index != nil {
+		h, _, ok := index.Nearest(req.Location)
+		if !ok {
+			return 0, fmt.Errorf("loadgen: no hotspot for request %d", req.ID)
+		}
+		hh := int64(h)
+		body.Hotspot = &hh
+	} else {
+		x, y := req.Location.X, req.Location.Y
+		body.X, body.Y = &x, &y
+	}
+	data, err := json.Marshal(body)
+	if err != nil {
+		return 0, fmt.Errorf("loadgen: %w", err)
+	}
+	resp, err := client.Post(baseURL+"/ingest", "application/json", bytes.NewReader(data))
+	if err != nil {
+		return 0, fmt.Errorf("loadgen: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// advanceResponse is POST /admin/advance's reply.
+type advanceResponse struct {
+	Slot      int    `json:"slot"`
+	Scheduled bool   `json:"scheduled"`
+	Epoch     int64  `json:"epoch"`
+	Digest    string `json:"digest"`
+}
+
+// advance forces one slot boundary.
+func advance(client *http.Client, baseURL string) (advanceResponse, error) {
+	var out advanceResponse
+	resp, err := client.Post(baseURL+"/admin/advance", "application/json", nil)
+	if err != nil {
+		return out, fmt.Errorf("loadgen: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("loadgen: advance status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, fmt.Errorf("loadgen: decoding advance reply: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,149 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/similarity"
+)
+
+// CDN is the lookup answer meaning "fetch from the origin CDN server"
+// (the same sentinel as sim.CDN).
+const CDN = -1
+
+// servingPlan is one immutable, fully materialised scheduling plan plus
+// the lookup structures derived from it. It is built off to the side by
+// the recompute worker and published with a single atomic pointer swap,
+// so a concurrent lookup either sees the complete previous plan or the
+// complete new one — never a partial mix. Only the per-entry
+// round-robin cursors mutate after publication, and those are atomics
+// that never affect the plan's content.
+type servingPlan struct {
+	// epoch is the swap sequence number (1 for the first plan).
+	epoch int64
+	// slot is the timeslot whose demand produced the plan.
+	slot int
+	// requests is the demand volume the plan was computed from.
+	requests int64
+	// digest fingerprints canonical (core.Plan.Digest).
+	digest uint64
+	// canonical is the plan's deterministic byte encoding, kept for
+	// /plans and the e2e byte-identity certification.
+	canonical []byte
+	// placement[h] is the video set hotspot h prefetches.
+	placement []similarity.Set
+	// redirect routes (hotspot, video) pairs the plan moves elsewhere.
+	redirect map[int64]*redirectEntry
+	// numVideos is the redirect key stride.
+	numVideos int64
+	// degraded mirrors core.Plan.Degraded.
+	degraded bool
+	// redirects is len(core.Plan.Redirects), kept for reporting.
+	redirects int
+	// stats is retained for /plans reporting.
+	stats core.Stats
+}
+
+// redirectEntry fans one (source hotspot, video) pair's lookups out
+// over the plan's redirect targets, proportionally to the planned
+// per-target counts. The targets and cumulative weights are immutable;
+// only the round-robin cursor advances.
+type redirectEntry struct {
+	targets []int32
+	// cum[i] is the cumulative planned count through targets[i];
+	// total == cum[len-1].
+	cum    []int64
+	total  int64
+	cursor atomic.Int64
+}
+
+// next returns the entry's next target, cycling deterministically
+// through the planned counts (first `cum[0]` lookups to targets[0],
+// and so on, modulo total).
+func (e *redirectEntry) next() int {
+	i := e.cursor.Add(1) - 1
+	pos := i % e.total
+	j := sort.Search(len(e.cum), func(k int) bool { return e.cum[k] > pos })
+	return int(e.targets[j])
+}
+
+// newServingPlan materialises a core plan for serving.
+func newServingPlan(epoch int64, slot int, requests int64, plan *core.Plan, numVideos int) *servingPlan {
+	sp := &servingPlan{
+		epoch:     epoch,
+		slot:      slot,
+		requests:  requests,
+		canonical: plan.Canonical(),
+		digest:    plan.Digest(),
+		placement: plan.Placement,
+		redirect:  make(map[int64]*redirectEntry),
+		numVideos: int64(numVideos),
+		degraded:  plan.Degraded,
+		redirects: len(plan.Redirects),
+		stats:     plan.Stats,
+	}
+	for _, rd := range plan.Redirects {
+		if rd.Count <= 0 {
+			continue
+		}
+		k := int64(rd.From)*sp.numVideos + int64(rd.Video)
+		e := sp.redirect[k]
+		if e == nil {
+			e = &redirectEntry{}
+			sp.redirect[k] = e
+		}
+		e.total += rd.Count
+		e.targets = append(e.targets, int32(rd.To))
+		e.cum = append(e.cum, e.total)
+	}
+	return sp
+}
+
+// lookupResult is one routing decision.
+type lookupResult struct {
+	// target is the serving hotspot, or CDN.
+	target int
+	// redirected reports the request followed a plan redirect edge
+	// (target differs from its aggregation hotspot by plan, not by
+	// cache miss).
+	redirected bool
+}
+
+// lookup routes one request aggregated at hotspot h for video v:
+// planned redirects first (cycling through targets proportionally to
+// the planned counts), then the local cache placement, then the CDN.
+// A nil plan (before the first swap) routes everything to the CDN.
+func (sp *servingPlan) lookup(h int, v int) lookupResult {
+	if sp == nil || sp.placement == nil {
+		return lookupResult{target: CDN}
+	}
+	if e, ok := sp.redirect[int64(h)*sp.numVideos+int64(v)]; ok {
+		return lookupResult{target: e.next(), redirected: true}
+	}
+	if sp.placement[h].Contains(v) {
+		return lookupResult{target: h}
+	}
+	return lookupResult{target: CDN}
+}
+
+// PlanRecord is the public per-slot plan summary served by /plans and
+// returned from AdvanceSlot.
+type PlanRecord struct {
+	Slot     int    `json:"slot"`
+	Epoch    int64  `json:"epoch"`
+	Requests int64  `json:"requests"`
+	Digest   string `json:"digest"`
+	// Canonical is the hex encoding of the plan's canonical bytes (the
+	// e2e harness compares it against the offline simulator's plans).
+	Canonical string `json:"canonical,omitempty"`
+	Degraded  bool   `json:"degraded"`
+	Replicas  int64  `json:"replicas"`
+	Redirects int    `json:"redirects"`
+	MovedFlow int64  `json:"moved_flow"`
+	Stranded  int64  `json:"stranded_to_cdn"`
+}
+
+// digestString renders a plan digest the way PlanRecord reports it.
+func digestString(d uint64) string { return fmt.Sprintf("%016x", d) }

@@ -1,0 +1,533 @@
+// Package server is the online scheduling service: the deployable
+// counterpart of the offline trace-driven simulator. User requests
+// arrive continuously over HTTP/JSON and are aggregated per hotspot
+// into sharded, lock-striped demand accumulators with bounded queues
+// (overload answers 429, and accepted requests are never dropped); a
+// slot ticker snapshots the accumulated demand each timeslot, runs one
+// RBCAer round (core.ScheduleRound, including the deadline/degradation
+// path) on a dedicated worker, and publishes the result by atomically
+// swapping a double-buffered immutable plan — lookups never observe a
+// partially applied plan and keep serving the previous plan while the
+// next one is computed. Fed the same trace, the server produces plans
+// byte-identical to the offline simulator's (certified end to end in
+// e2e_test.go via core.Plan.Canonical).
+//
+// The package is dependency-free: stdlib net/http plus this
+// repository's internal packages.
+package server
+
+import (
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// Server is one online scheduling service instance. Create it with
+// New, start it with Start, stop it with Close.
+type Server struct {
+	cfg   Config
+	world *trace.World
+	index *geo.Grid
+	reg   *obs.Registry
+
+	shards []*demandShard
+
+	// current is the serving plan, swapped atomically by the recompute
+	// worker. Lookups only ever Load it.
+	current atomic.Pointer[servingPlan]
+
+	// mu guards the snapshot queue, slot counter, plan history, and
+	// the closed flag.
+	mu      sync.Mutex
+	queue   []*slotSnapshot
+	slot    int
+	epoch   int64
+	history []PlanRecord
+	closed  bool
+
+	// kick wakes the recompute worker (capacity 1: a pending kick
+	// covers any number of queued snapshots).
+	kick chan struct{}
+	// stop ends the ticker and, after the queue drains, the worker.
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	// sched is owned by the recompute worker goroutine; svcCaps and
+	// cacheCaps are the nominal capacity rows it passes each round
+	// (copied per round, mirroring the offline policy's fresh slices).
+	sched     *core.Scheduler
+	svcCaps   []int64
+	cacheCaps []int
+
+	httpSrv *http.Server
+	ln      net.Listener
+}
+
+// slotSnapshot is one timeslot's drained demand awaiting recomputation.
+type slotSnapshot struct {
+	slot     int
+	demand   *core.Demand
+	requests int64
+	start    time.Time
+	// done channels are closed once this snapshot's plan is live (or
+	// the snapshot turned out empty); AdvanceSlot waits on one.
+	done []chan struct{}
+}
+
+// New validates the configuration and builds a server (not yet
+// listening).
+func New(cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	index, err := cfg.World.Index()
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	sched, err := core.New(cfg.World, cfg.Params)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	m := len(cfg.World.Hotspots)
+	s := &Server{
+		cfg:       cfg,
+		world:     cfg.World,
+		index:     index,
+		reg:       cfg.Registry,
+		shards:    make([]*demandShard, cfg.Shards),
+		kick:      make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+		sched:     sched,
+		svcCaps:   make([]int64, m),
+		cacheCaps: make([]int, m),
+	}
+	for i := range s.shards {
+		s.shards[i] = &demandShard{}
+	}
+	for h, hs := range cfg.World.Hotspots {
+		s.svcCaps[h] = hs.ServiceCapacity
+		s.cacheCaps[h] = hs.CacheCapacity
+	}
+	return s, nil
+}
+
+// Start begins listening on cfg.Addr and launches the recompute worker
+// and, when SlotDuration is set, the slot ticker.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	s.ln = ln
+	s.httpSrv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		if err := s.httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.reg.Counter("server.http.errors").Inc()
+		}
+	}()
+	s.wg.Add(1)
+	go s.recomputeLoop()
+	if s.cfg.SlotDuration > 0 {
+		s.wg.Add(1)
+		go s.tickLoop()
+	}
+	return nil
+}
+
+// Addr returns the address actually listened on (useful with port 0).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the server down gracefully: stop accepting requests
+// (bounded by DrainTimeout), flush still-accumulated demand through one
+// final scheduling round so no accepted request is silently dropped,
+// and wait for the ticker and worker to exit. Close is idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	var err error
+	if s.httpSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+		err = s.httpSrv.Shutdown(ctx)
+		cancel()
+	}
+	// Final flush: anything accepted before shutdown still gets
+	// scheduled and recorded.
+	s.advance(nil)
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.wg.Wait()
+	return err
+}
+
+// tickLoop drives timed slots. The tick itself only drains the stripes
+// and enqueues a snapshot — recomputation happens on the worker — so a
+// slow scheduling round can never block the ticker.
+func (s *Server) tickLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.SlotDuration)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.advance(nil)
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// advance closes out the current timeslot: it drains the stripes into a
+// snapshot, enqueues it for the recompute worker, and returns the slot
+// number. An empty slot (nothing accepted) advances the slot counter
+// without queueing work. done, when non-nil, is closed once the
+// snapshot's plan is live (immediately for empty slots).
+func (s *Server) advance(done chan struct{}) int {
+	s.mu.Lock()
+	slot := s.slot
+	s.slot++
+	demand, n := drainDemand(s.shards, len(s.world.Hotspots))
+	s.reg.Counter("server.slots").Inc()
+	if demand == nil {
+		s.reg.Counter("server.slots.empty").Inc()
+		s.mu.Unlock()
+		if done != nil {
+			close(done)
+		}
+		return slot
+	}
+	s.reg.Histogram("server.slot.requests", obs.PowersOf2Buckets(24)).Observe(n)
+	snap := &slotSnapshot{slot: slot, demand: demand, requests: n, start: time.Now()}
+	if done != nil {
+		snap.done = append(snap.done, done)
+	}
+	if len(s.queue) >= maxSnapshotQueue {
+		// The worker is lagging: coalesce into the newest queued
+		// snapshot instead of growing the queue or blocking. The
+		// merged demand schedules under the newer slot number; no
+		// accepted request is lost.
+		last := s.queue[len(s.queue)-1]
+		mergeDemand(last.demand, demand)
+		last.requests += n
+		last.slot = slot
+		last.done = append(last.done, snap.done...)
+		s.reg.Counter("server.slots.coalesced").Inc()
+	} else {
+		s.queue = append(s.queue, snap)
+	}
+	s.mu.Unlock()
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+	return slot
+}
+
+// AdvanceSlot forces a slot boundary and blocks until the slot's plan
+// (if any demand accumulated) is live, returning the slot number and
+// the plan record now serving. This is the deterministic drive used by
+// the load generator, tests, and manual-slot deployments
+// (SlotDuration 0); it also works alongside a running ticker.
+func (s *Server) AdvanceSlot(ctx context.Context) (int, PlanRecord, error) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return 0, PlanRecord{}, errors.New("server: closed")
+	}
+	done := make(chan struct{})
+	slot := s.advance(done)
+	select {
+	case <-done:
+	case <-s.stop:
+		return slot, PlanRecord{}, errors.New("server: shutting down")
+	case <-ctx.Done():
+		return slot, PlanRecord{}, ctx.Err()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var rec PlanRecord
+	if len(s.history) > 0 {
+		rec = s.history[len(s.history)-1]
+		rec.Canonical = ""
+	}
+	return slot, rec, nil
+}
+
+// recomputeLoop is the single scheduling worker: it owns the core
+// scheduler (which is not safe for concurrent use) and processes
+// queued snapshots in order, swapping each resulting plan in atomically.
+func (s *Server) recomputeLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.kick:
+			s.drainQueue()
+		case <-s.stop:
+			// Process whatever Close's final flush queued, then exit.
+			s.drainQueue()
+			return
+		}
+	}
+}
+
+// drainQueue schedules every queued snapshot.
+func (s *Server) drainQueue() {
+	for {
+		s.mu.Lock()
+		if len(s.queue) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		snap := s.queue[0]
+		s.queue = s.queue[1:]
+		s.mu.Unlock()
+		s.runSlot(snap)
+	}
+}
+
+// runSlot runs one scheduling round and publishes the plan. The round
+// sees the same inputs the offline policy hands core.ScheduleRound —
+// nominal service and cache capacity rows, freshly copied — so a
+// replayed trace produces byte-identical plans (see e2e_test.go).
+func (s *Server) runSlot(snap *slotSnapshot) {
+	defer func() {
+		for _, d := range snap.done {
+			close(d)
+		}
+	}()
+	svc := make([]int64, len(s.svcCaps))
+	copy(svc, s.svcCaps)
+	cache := make([]int, len(s.cacheCaps))
+	copy(cache, s.cacheCaps)
+	plan, err := s.sched.ScheduleRound(snap.demand, core.Constraints{Service: svc, Cache: cache})
+	if err != nil {
+		// Contract violations only (ScheduleRound degrades instead of
+		// failing on solver trouble): keep serving the previous plan.
+		s.reg.Counter("server.plan.errors").Inc()
+		return
+	}
+
+	s.mu.Lock()
+	s.epoch++
+	epoch := s.epoch
+	s.mu.Unlock()
+
+	sp := newServingPlan(epoch, snap.slot, snap.requests, plan, s.world.NumVideos)
+	s.current.Store(sp)
+
+	s.reg.Counter("server.plan.swaps").Inc()
+	if plan.Degraded {
+		s.reg.Counter("server.plan.degraded").Inc()
+	}
+	latency := time.Since(snap.start)
+	s.reg.Histogram("server.slot.latency_ms", obs.PowersOf2Buckets(16)).Observe(latency.Milliseconds())
+	s.reg.Timer("server.slot.schedule").Observe(latency)
+	if s.cfg.Tracer != nil {
+		s.cfg.Tracer.Emit(obs.Event{Type: "swap", Slot: snap.slot, Attrs: []obs.Attr{
+			obs.I("epoch", epoch),
+			obs.I("requests", snap.requests),
+			obs.I("replicas", plan.Stats.Replicas),
+			obs.I("degraded", boolAttr(plan.Degraded)),
+			obs.D("latency", latency),
+		}})
+	}
+
+	rec := PlanRecord{
+		Slot:      snap.slot,
+		Epoch:     epoch,
+		Requests:  snap.requests,
+		Digest:    digestString(sp.digest),
+		Canonical: hex.EncodeToString(sp.canonical),
+		Degraded:  sp.degraded,
+		Replicas:  sp.stats.Replicas,
+		Redirects: sp.redirects,
+		MovedFlow: sp.stats.MovedFlow,
+		Stranded:  sp.stats.StrandedToCDN,
+	}
+	s.mu.Lock()
+	s.history = append(s.history, rec)
+	if len(s.history) > s.cfg.PlanHistory {
+		s.history = s.history[len(s.history)-s.cfg.PlanHistory:]
+	}
+	s.mu.Unlock()
+}
+
+// Plans returns the retained per-slot plan records, oldest first.
+func (s *Server) Plans() []PlanRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]PlanRecord, len(s.history))
+	copy(out, s.history)
+	return out
+}
+
+// Handler returns the server's HTTP API:
+//
+//	POST /ingest         accept one request ({"user","video","x","y"}
+//	                     or {"user","video","hotspot"}) — 202 accepted,
+//	                     429 overloaded (stripe queue full), 400 malformed
+//	GET  /redirect       ?video=V&hotspot=H → serving target for one
+//	                     request aggregated at H ({"target":-1} = CDN)
+//	GET  /plans          retained per-slot plan records (canonical bytes)
+//	GET  /healthz        liveness + slot/epoch counters
+//	POST /admin/advance  force a slot boundary; returns the new record
+//
+// It is exported so tests and benchmarks can drive the mux without a
+// socket.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("GET /redirect", s.handleRedirect)
+	mux.HandleFunc("GET /plans", s.handlePlans)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /admin/advance", s.handleAdvance)
+	return mux
+}
+
+// writeJSON writes one JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.reg.Counter("server.ingest.oversized").Inc()
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{Error: "body too large"})
+			return
+		}
+		s.reg.Counter("server.ingest.malformed").Inc()
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "reading body"})
+		return
+	}
+	req, err := decodeIngest(body)
+	if err != nil {
+		s.reg.Counter("server.ingest.malformed").Inc()
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	h, v, err := resolveIngest(s.world, s.index, req)
+	if err != nil {
+		s.reg.Counter("server.ingest.malformed").Inc()
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	sh := s.shards[h%len(s.shards)]
+	if !sh.add(trace.HotspotID(h), v, int64(s.cfg.QueueBound)) {
+		// Backpressure: the stripe is at its bound until the next slot
+		// snapshot drains it. The rejection is visible (429 + counter),
+		// never a silent drop.
+		s.reg.Counter("server.ingest.rejected").Inc()
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "ingest queue full, retry next slot"})
+		return
+	}
+	s.reg.Counter("server.ingest.accepted").Inc()
+	writeJSON(w, http.StatusAccepted, map[string]int{"hotspot": h})
+}
+
+func (s *Server) handleRedirect(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	video, err := strconv.Atoi(q.Get("video"))
+	if err != nil || video < 0 || video >= s.world.NumVideos {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "video outside the catalogue"})
+		return
+	}
+	hotspot, err := strconv.Atoi(q.Get("hotspot"))
+	if err != nil || hotspot < 0 || hotspot >= len(s.world.Hotspots) {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "hotspot outside the fleet"})
+		return
+	}
+	sp := s.current.Load()
+	res := sp.lookup(hotspot, video)
+	s.reg.Counter("server.lookup.total").Inc()
+	switch {
+	case res.target == CDN:
+		s.reg.Counter("server.lookup.cdn").Inc()
+	case res.redirected:
+		s.reg.Counter("server.lookup.redirected").Inc()
+	default:
+		s.reg.Counter("server.lookup.local").Inc()
+	}
+	resp := map[string]any{"target": res.target}
+	if sp != nil {
+		resp["epoch"] = sp.epoch
+		resp["slot"] = sp.slot
+		resp["digest"] = digestString(sp.digest)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePlans(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Plans())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	slot, epoch := s.slot, s.epoch
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"slot":   slot,
+		"epoch":  epoch,
+	})
+}
+
+func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	slot, rec, err := s.AdvanceSlot(r.Context())
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		return
+	}
+	scheduled := rec.Epoch != 0 && rec.Slot == slot
+	writeJSON(w, http.StatusOK, map[string]any{
+		"slot":      slot,
+		"scheduled": scheduled,
+		"epoch":     rec.Epoch,
+		"digest":    rec.Digest,
+	})
+}
+
+// boolAttr renders a bool as a 0/1 event attribute value.
+func boolAttr(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

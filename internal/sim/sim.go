@@ -117,6 +117,11 @@ type Assignment struct {
 	// epilogue, so the event stream is identical for Run and
 	// RunParallel at any worker count.
 	Events []obs.Event
+	// Plan, when non-nil, is the core scheduling plan this assignment
+	// was materialised from (RBCAer sets it; baselines leave it nil).
+	// The simulator forwards it to Options.PlanSink and otherwise
+	// ignores it.
+	Plan *core.Plan
 }
 
 // Scheduler is a request-redirection and content-placement policy.
@@ -250,6 +255,15 @@ type Options struct {
 	// sequential epilogue, so the sequence is worker-count independent
 	// (byte-identical JSONL with a dropTimings tracer).
 	Tracer *obs.Tracer
+	// PlanSink, when non-nil, receives each scheduled slot's core plan
+	// in slot order from the sequential epilogue, for policies that
+	// expose one (Assignment.Plan — RBCAer does). Slots scheduled by
+	// plan-less policies and all-offline slots are skipped. Like the
+	// tracer stream, the (slot, plan) sequence is identical for Run and
+	// RunParallel at any worker count; the online serving layer's e2e
+	// harness compares these plans byte-for-byte against the ones it
+	// computed live (see internal/server).
+	PlanSink func(slot int, plan *core.Plan)
 }
 
 // Validate checks the options.
@@ -746,6 +760,9 @@ func applySlot(world *trace.World, opts Options, metrics *Metrics, w *slotWork, 
 	}
 	metrics.Replicas += asg.ExtraReplicas
 	metrics.StrandedRequests += asg.StrandedDemand
+	if opts.PlanSink != nil && asg.Plan != nil {
+		opts.PlanSink(slot, asg.Plan)
+	}
 	metrics.Phases = metrics.Phases.Add(asg.Phases)
 	if asg.Degraded {
 		metrics.DegradedRounds++
