@@ -1,11 +1,13 @@
 // Command cdnbench runs the repository's headline performance
 // benchmarks programmatically and records the results as a JSON
-// artifact (BENCH_5.json by default) so CI can track ns/op, B/op, and
+// artifact (BENCH_6.json by default) so CI can track ns/op, B/op, and
 // allocs/op regressions across commits. The workload is fixed-seed and
 // matches the root bench_test.go configuration, so numbers are
 // comparable with `go test -bench=BenchmarkSchedule -benchmem .`. The
 // Server* lines measure the online service's ingest and lookup hot
-// paths through its real HTTP handlers (socketless).
+// paths through its real HTTP handlers (socketless), and ScheduleDelta
+// measures incremental rounds over a pre-generated drifting demand
+// sequence.
 package main
 
 import (
@@ -18,6 +20,10 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"slices"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -75,8 +81,52 @@ func scheduleDemand(quick bool) (*trace.World, *core.Demand, error) {
 	return world, ctx.Demand, nil
 }
 
+// driftDemands pre-generates the delta benchmark's slot sequence: each
+// step clones its predecessor and moves ~10% of the request mass at two
+// hotspots between videos already in those hotspots' working sets, so
+// per-hotspot totals (and hence the flow network) stay fixed while the
+// demand mix drifts the way successive live slots do.
+func driftDemands(base *core.Demand, steps int) []*core.Demand {
+	rng := rand.New(rand.NewSource(17))
+	out := make([]*core.Demand, steps)
+	out[0] = base
+	for s := 1; s < steps; s++ {
+		d := out[s-1].Clone()
+		for k := 0; k < 2; k++ {
+			h := rng.Intn(d.NumHotspots())
+			row := d.PerVideo[h]
+			if len(row) < 2 {
+				continue
+			}
+			videos := make([]trace.VideoID, 0, len(row))
+			for v := range row {
+				videos = append(videos, v)
+			}
+			slices.Sort(videos)
+			move := d.Totals[h] / 10
+			for i := 0; move > 0 && i < 64; i++ {
+				src := videos[rng.Intn(len(videos))]
+				dst := videos[rng.Intn(len(videos))]
+				if src == dst || row[src] == 0 {
+					continue
+				}
+				n := min(move, row[src])
+				row[src] -= n
+				if row[src] == 0 {
+					delete(row, src)
+				}
+				row[dst] += n
+				move -= n
+			}
+		}
+		out[s] = d
+	}
+	return out
+}
+
 // benchmarks assembles the headline suite: the end-to-end scheduling
-// round at the determinism-contract worker counts, the Jaccard kernel
+// round at the determinism-contract worker counts, the incremental
+// delta round over a drifting demand sequence, the Jaccard kernel
 // pair, and the arena-reuse MCMF solve.
 func benchmarks(quick bool) ([]namedBench, error) {
 	world, demand, err := scheduleDemand(quick)
@@ -105,6 +155,31 @@ func benchmarks(quick bool) ([]namedBench, error) {
 			},
 		})
 	}
+
+	deltaParams := core.DefaultParams()
+	deltaParams.DeltaThreshold = core.DefaultDeltaThreshold
+	deltaSched, err := core.New(world, deltaParams)
+	if err != nil {
+		return nil, err
+	}
+	deltaDemands := driftDemands(demand, 64)
+	// Warm the retained state with one cold solve so every measured
+	// iteration is an incremental round (or, on the cycle wrap-around,
+	// a drift fallback — the steady-state mix a long-running server sees).
+	if _, err := deltaSched.Schedule(deltaDemands[0]); err != nil {
+		return nil, err
+	}
+	out = append(out, namedBench{
+		name: "ScheduleDelta",
+		fn: func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := deltaSched.Schedule(deltaDemands[1+i%(len(deltaDemands)-1)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	})
 
 	rng := rand.New(rand.NewSource(3))
 	mkSet := func(universe, size int) similarity.Set {
@@ -244,9 +319,12 @@ func onlineBenches(world *trace.World, demand *core.Demand) ([]namedBench, error
 }
 
 // runSuite executes every benchmark and collects its artifact line.
+// The GC barrier between lines keeps one benchmark's garbage from
+// inflating the next one's numbers.
 func runSuite(benches []namedBench) []benchResult {
 	results := make([]benchResult, 0, len(benches))
 	for _, nb := range benches {
+		runtime.GC()
 		r := testing.Benchmark(nb.fn)
 		res := benchResult{
 			Name:        nb.name,
@@ -271,14 +349,37 @@ func writeResults(path string, results []benchResult) error {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_5.json", "path of the JSON benchmark artifact")
+	out := flag.String("out", "BENCH_6.json", "path of the JSON benchmark artifact")
 	quick := flag.Bool("quick", false, "shrink the schedule workload for smoke runs")
+	only := flag.String("run", "", "run only benchmarks whose name contains this substring")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 	flag.Parse()
 
 	benches, err := benchmarks(*quick)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cdnbench: %v\n", err)
 		os.Exit(1)
+	}
+	if *only != "" {
+		kept := benches[:0]
+		for _, nb := range benches {
+			if strings.Contains(nb.name, *only) {
+				kept = append(kept, nb)
+			}
+		}
+		benches = kept
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cdnbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cdnbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
 	results := runSuite(benches)
 	if err := writeResults(*out, results); err != nil {

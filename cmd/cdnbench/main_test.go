@@ -71,6 +71,7 @@ func TestBenchmarkSuiteShape(t *testing.T) {
 		"Schedule/workers=1",
 		"Schedule/workers=4",
 		"Schedule/workers=8",
+		"ScheduleDelta",
 		"JaccardSet",
 		"JaccardBitset",
 		"MCMFSolveReuse",

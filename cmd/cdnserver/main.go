@@ -21,6 +21,10 @@
 //	-smoke            boot on an ephemeral port, replay a generated
 //	                  trace through the server over real HTTP, verify
 //	                  every slot scheduled, shut down cleanly, exit
+//	-delta            incremental delta scheduling: warm-start each
+//	                  slot from the previous one's solution (plans stay
+//	                  digest-identical to full solves)
+//	-delta-every N    with -delta: force a full re-solve every N slots
 //
 // The HTTP API is POST /ingest, GET /redirect, GET /plans,
 // GET /healthz, and POST /admin/advance (see internal/server).
@@ -57,11 +61,17 @@ func run(args []string) error {
 	drain := fs.Duration("drain", 0, "graceful-shutdown drain timeout (0 = default)")
 	seed := fs.Int64("seed", 1, "world-generation seed")
 	smoke := fs.Bool("smoke", false, "end-to-end smoke: boot, replay a generated trace, exit")
+	delta := fs.Bool("delta", false, "incremental delta scheduling (warm-started rounds, periodic full re-solve)")
+	deltaEvery := fs.Int("delta-every", 16, "with -delta: force a full re-solve every N slots (0 = never)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	var params crowdcdn.Params
+	if *delta {
+		params = crowdcdn.DeltaParams(*deltaEvery)
+	}
 	if *smoke {
-		return runSmoke(*seed)
+		return runSmoke(*seed, params)
 	}
 
 	world, err := loadWorld(*worldPath, *seed)
@@ -79,6 +89,7 @@ func run(args []string) error {
 
 	srv, err := crowdcdn.NewServer(crowdcdn.ServerConfig{
 		World:        world,
+		Params:       params,
 		Addr:         *addr,
 		Shards:       *shards,
 		QueueBound:   *queue,
@@ -120,8 +131,9 @@ func smokeConfig(seed int64) crowdcdn.TraceConfig {
 // runSmoke is the CI end-to-end check: boot the server on an ephemeral
 // port with manual slots, replay a generated trace through it over real
 // HTTP, require every slot to have scheduled a plan with no rejections,
-// and shut down cleanly.
-func runSmoke(seed int64) error {
+// and shut down cleanly. params carries the scheduling mode (-delta
+// smokes the incremental path).
+func runSmoke(seed int64, params crowdcdn.Params) error {
 	world, tr, err := crowdcdn.Generate(smokeConfig(seed))
 	if err != nil {
 		return err
@@ -129,6 +141,7 @@ func runSmoke(seed int64) error {
 	reg := crowdcdn.NewMetricsRegistry()
 	srv, err := crowdcdn.NewServer(crowdcdn.ServerConfig{
 		World:       world,
+		Params:      params,
 		Registry:    reg,
 		PlanHistory: tr.Slots + 1,
 	})

@@ -14,6 +14,10 @@
 //	-capacity F -cache F       override capacities as fractions of the
 //	                           video-set size (0 keeps the input)
 //	-seed N                    simulation/generation seed
+//	-delta                     rbcaer: incremental delta scheduling
+//	-delta-verify              with -delta: shadow-verify every delta
+//	                           round against a full solve
+//	-delta-every N             with -delta: full re-solve every N slots
 //	-workers N                 scheduling parallelism: 0 uses every core,
 //	                           1 forces serial; results are identical
 //	-json                      emit metrics as JSON instead of text
@@ -50,6 +54,9 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "simulation (and generation) seed")
 	workers := fs.Int("workers", 0, "scheduling parallelism (0 = all cores, 1 = serial; results identical)")
 	churn := fs.Float64("churn", 0, "per-slot probability a hotspot is offline")
+	delta := fs.Bool("delta", false, "rbcaer only: incremental delta scheduling (slots run sequentially, plans unchanged)")
+	deltaVerify := fs.Bool("delta-verify", false, "with -delta: shadow-run the full solver each delta round and compare digests")
+	deltaEvery := fs.Int("delta-every", 16, "with -delta: force a full re-solve every N slots (0 = never)")
 	asJSON := fs.Bool("json", false, "emit metrics as JSON")
 	debugAddr := fs.String("debug-addr", "", "serve pprof/expvar/metrics on this address (e.g. localhost:6060)")
 	metricsOut := fs.String("metrics-out", "", "write a metrics-registry snapshot (JSON) to this file")
@@ -90,11 +97,17 @@ func run(args []string) error {
 	switch *schemeName {
 	case "rbcaer":
 		params := crowdcdn.DefaultParams()
+		if *delta {
+			params = crowdcdn.DeltaParams(*deltaEvery)
+			params.DeltaVerify = *deltaVerify
+		}
 		params.Workers = *workers
 		params.Obs = reg
 		params.RecordEvents = tracer != nil
 		newPolicy = func() crowdcdn.Scheduler { return crowdcdn.NewRBCAer(params) }
-		slotIndependent = true
+		// Delta mode carries warm-start state from slot to slot, so its
+		// slots must be scheduled in order on one policy instance.
+		slotIndependent = !*delta
 	case "nearest":
 		newPolicy = func() crowdcdn.Scheduler { return crowdcdn.NewNearest() }
 		slotIndependent = true

@@ -36,24 +36,158 @@ func (s *Scheduler) replicate(d *Demand, flows map[int64]int64, svc []int64, cac
 		placement[h] = make(similarity.Set)
 	}
 	cacheUsed := make([]int, m)
+	lv := newLambdaView(d, m)
 
-	// Remaining flow budget per (i, j) pair and remaining local demand
-	// λ_iv per hotspot.
+	redirects, unrealized, replicas = s.realizeFlows(flows, cache, lv, placement, cacheUsed)
+	serveBudget := s.fillBudgets(svc, redirects)
+
+	if s.params.BPeak > 0 {
+		// Greedy local fill (Procedure 1, lines 14-19): replicate the
+		// highest remaining local demand el(v, i) = λ_iv until caches
+		// fill or the budget runs out. BPeak is a single global budget
+		// consumed in global (count, hotspot, video) order, so the rows
+		// cannot be decomposed — keep the global walk.
+		type localDemand struct {
+			hotspot int
+			video   trace.VideoID
+			count   int64
+		}
+		var fill []localDemand
+		for i := 0; i < m; i++ {
+			if cacheUsed[i] >= cache[i] {
+				continue
+			}
+			for v, n := range lv.row(i) {
+				if n <= 0 || placement[i].Contains(int(v)) {
+					continue
+				}
+				fill = append(fill, localDemand{hotspot: i, video: v, count: n})
+			}
+		}
+		slices.SortFunc(fill, func(a, b localDemand) int {
+			switch {
+			case a.count != b.count:
+				if a.count > b.count {
+					return -1
+				}
+				return 1
+			case a.hotspot != b.hotspot:
+				return a.hotspot - b.hotspot
+			default:
+				return int(a.video) - int(b.video)
+			}
+		})
+		for _, ld := range fill {
+			if replicas >= s.params.BPeak {
+				break
+			}
+			if serveBudget[ld.hotspot] <= 0 {
+				continue
+			}
+			if cacheUsed[ld.hotspot] >= cache[ld.hotspot] {
+				continue
+			}
+			if placement[ld.hotspot].Contains(int(ld.video)) {
+				continue
+			}
+			placement[ld.hotspot].Add(int(ld.video))
+			cacheUsed[ld.hotspot]++
+			replicas++
+			serveBudget[ld.hotspot] -= ld.count
+		}
+	} else {
+		// Without the global BPeak budget every state the fill walk
+		// touches — cache space, serve budget, placement — is
+		// per-hotspot, and the global (count desc, hotspot asc, video
+		// asc) order restricted to one hotspot is (count desc, video
+		// asc): the walk decomposes into independent per-hotspot fills
+		// in ascending hotspot order with identical output. The delta
+		// path patches exactly these rows.
+		var scratch []fillCand
+		for i := 0; i < m; i++ {
+			var added int64
+			added, scratch = s.fillHotspot(lv.row(i), nil, placement[i], cacheUsed[i], cache[i], serveBudget[i], scratch)
+			replicas += added
+		}
+	}
+
+	if unrealized < 0 {
+		return nil, nil, 0, 0, fmt.Errorf("core: negative unrealized flow %d (bug)", unrealized)
+	}
+	return redirects, placement, unrealized, replicas, nil
+}
+
+// lambdaView is the remaining-local-demand vector λ_rem of Procedure 1,
+// materialised lazily: a hotspot's row is copied (filtered to n > 0)
+// only when stage A mutates it; every other hotspot reads the raw
+// demand map with non-positive entries filtered at the use sites —
+// exactly the set the eager copy would have held. On typical rounds
+// only the flow sources (a few dozen of thousands of hotspots) ever
+// materialise. The view never mutates the underlying Demand.
+type lambdaView struct {
+	d   *Demand
+	mod []map[trace.VideoID]int64
+}
+
+func newLambdaView(d *Demand, m int) *lambdaView {
+	return &lambdaView{d: d, mod: make([]map[trace.VideoID]int64, m)}
+}
+
+// materialize returns hotspot h's mutable remaining-demand row, copying
+// the filtered (n > 0) demand on first use.
+func (lv *lambdaView) materialize(h int) map[trace.VideoID]int64 {
+	if lv.mod[h] == nil {
+		row := make(map[trace.VideoID]int64, len(lv.d.PerVideo[h]))
+		for v, n := range lv.d.PerVideo[h] {
+			if n > 0 {
+				row[v] = n
+			}
+		}
+		lv.mod[h] = row
+	}
+	return lv.mod[h]
+}
+
+// at returns λ_rem for (h, v). Callers treat non-positive values as
+// absent, which makes the raw-row read equivalent to the filtered copy.
+func (lv *lambdaView) at(h int, v trace.VideoID) int64 {
+	if row := lv.mod[h]; row != nil {
+		return row[v]
+	}
+	return lv.d.PerVideo[h][v]
+}
+
+// row returns hotspot h's remaining-demand row for read-only iteration:
+// the materialised row when stage A touched h, the raw demand map
+// otherwise (iterate with an n > 0 guard).
+func (lv *lambdaView) row(h int) map[trace.VideoID]int64 {
+	if lv.mod[h] != nil {
+		return lv.mod[h]
+	}
+	return lv.d.PerVideo[h]
+}
+
+// realizeFlows is stage A of Procedure 1: it converts the inter-hotspot
+// flows into per-video redirects in descending eu(v,j) order, placing
+// each redirected video at its target. It mutates lv (source rows),
+// placement, and cacheUsed (target rows) and returns the redirects, the
+// flow it could not realise, and the replicas it placed.
+func (s *Scheduler) realizeFlows(
+	flows map[int64]int64,
+	cache []int,
+	lv *lambdaView,
+	placement []similarity.Set,
+	cacheUsed []int,
+) (redirects []Redirect, unrealized int64, replicas int64) {
+	m := len(s.world.Hotspots)
+
+	// Remaining flow budget per (i, j) pair.
 	remaining := make(map[int64]int64, len(flows))
 	var totalFlow int64
 	for k, f := range flows {
 		if f > 0 {
 			remaining[k] = f
 			totalFlow += f
-		}
-	}
-	lambdaRem := make([]map[trace.VideoID]int64, m)
-	for h := 0; h < m; h++ {
-		lambdaRem[h] = make(map[trace.VideoID]int64, len(d.PerVideo[h]))
-		for v, n := range d.PerVideo[h] {
-			if n > 0 {
-				lambdaRem[h][v] = n
-			}
 		}
 	}
 
@@ -75,7 +209,7 @@ func (s *Scheduler) replicate(d *Demand, flows map[int64]int64, svc []int64, cac
 			if rem <= 0 {
 				continue
 			}
-			lam := lambdaRem[i][v]
+			lam := lv.at(i, v)
 			if lam <= 0 {
 				continue
 			}
@@ -88,12 +222,13 @@ func (s *Scheduler) replicate(d *Demand, flows map[int64]int64, svc []int64, cac
 		return sum
 	}
 
-	// Seed the lazy max-heap over (v, j) with initial eu values.
+	// Seed the lazy max-heap over (v, j) with initial eu values. Every
+	// flow source materialises its λ_rem row here, before any read.
 	var h euHeap
 	for j, srcs := range sourcesOf {
 		seen := make(map[trace.VideoID]struct{})
 		for _, i := range srcs {
-			for v := range lambdaRem[i] {
+			for v := range lv.materialize(i) {
 				if _, dup := seen[v]; dup {
 					continue
 				}
@@ -134,7 +269,8 @@ func (s *Scheduler) replicate(d *Demand, flows map[int64]int64, svc []int64, cac
 			if rem <= 0 {
 				continue
 			}
-			lam := lambdaRem[i][v]
+			row := lv.mod[i] // materialised at seeding
+			lam := row[v]
 			if lam <= 0 {
 				continue
 			}
@@ -150,89 +286,94 @@ func (s *Scheduler) replicate(d *Demand, flows map[int64]int64, svc []int64, cac
 			})
 			remaining[key] = rem - amt
 			if lam == amt {
-				delete(lambdaRem[i], v)
+				delete(row, v)
 			} else {
-				lambdaRem[i][v] = lam - amt
+				row[v] = lam - amt
 			}
 			remainingTotal -= amt
 		}
 	}
-	unrealized = remainingTotal
+	return redirects, remainingTotal, replicas
+}
 
-	// Greedy local fill (Procedure 1, lines 14-19): replicate the
-	// highest remaining local demand el(v, i) = λ_iv until caches fill
-	// or the budget runs out.
-	type localDemand struct {
-		hotspot int
-		video   trace.VideoID
-		count   int64
-	}
-	var fill []localDemand
-	for i := 0; i < m; i++ {
-		if cacheUsed[i] >= cache[i] {
-			continue
-		}
-		for v, n := range lambdaRem[i] {
-			if n <= 0 || placement[i].Contains(int(v)) {
-				continue
-			}
-			fill = append(fill, localDemand{hotspot: i, video: v, count: n})
-		}
-	}
-	slices.SortFunc(fill, func(a, b localDemand) int {
-		switch {
-		case a.count != b.count:
-			if a.count > b.count {
-				return -1
-			}
-			return 1
-		case a.hotspot != b.hotspot:
-			return a.hotspot - b.hotspot
-		default:
-			return int(a.video) - int(b.video)
-		}
-	})
-
-	// Replicating a video the hotspot has no service capacity left to
-	// serve would add CDN push load with zero serving benefit — this is
-	// the role of the paper's B_peak bound on the replication loop. We
-	// budget each hotspot's fill by its serviceable residual demand:
-	// service capacity minus the inflow reserved by redirects.
+// fillBudgets computes the per-hotspot serve budget of the greedy fill.
+// Replicating a video the hotspot has no service capacity left to serve
+// would add CDN push load with zero serving benefit — this is the role
+// of the paper's B_peak bound on the replication loop. We budget each
+// hotspot's fill by its serviceable residual demand: service capacity
+// minus the inflow reserved by redirects.
+func (s *Scheduler) fillBudgets(svc []int64, redirects []Redirect) []int64 {
 	over := s.params.FillOverprovision
 	if over <= 0 {
 		over = 1
 	}
-	serveBudget := make([]int64, m)
+	serveBudget := make([]int64, len(svc))
 	for i, c := range svc {
 		serveBudget[i] = int64(float64(c) * over)
 	}
 	for _, rd := range redirects {
 		serveBudget[rd.To] -= rd.Count
 	}
+	return serveBudget
+}
 
-	for _, ld := range fill {
-		if s.params.BPeak > 0 && replicas >= s.params.BPeak {
+// fillCand is one candidate of a single hotspot's greedy fill.
+type fillCand struct {
+	video trace.VideoID
+	count int64
+}
+
+// fillHotspot runs one hotspot's greedy local fill: remaining local
+// demand in (count desc, video asc) order, bounded by cache space and
+// the serve budget. base is the hotspot's demand row; minus, when
+// non-nil, holds per-video amounts already redirected away (λ − minus
+// is the remaining demand — the delta path reconstructs λ_rem this way
+// from the retained redirect footprint). Non-positive remaining demand
+// and videos already placed are skipped. Returns the replicas added and
+// the (possibly grown) candidate scratch for reuse.
+func (s *Scheduler) fillHotspot(
+	base map[trace.VideoID]int64,
+	minus map[trace.VideoID]int64,
+	placement similarity.Set,
+	used, cacheCap int,
+	budget int64,
+	scratch []fillCand,
+) (int64, []fillCand) {
+	if used >= cacheCap || budget <= 0 {
+		return 0, scratch
+	}
+	cands := scratch[:0]
+	for v, n := range base {
+		if minus != nil {
+			n -= minus[v]
+		}
+		if n <= 0 || placement.Contains(int(v)) {
+			continue
+		}
+		cands = append(cands, fillCand{video: v, count: n})
+	}
+	slices.SortFunc(cands, func(a, b fillCand) int {
+		switch {
+		case a.count != b.count:
+			if a.count > b.count {
+				return -1
+			}
+			return 1
+		default:
+			return int(a.video) - int(b.video)
+		}
+	})
+	var added int64
+	for _, c := range cands {
+		if budget <= 0 || used >= cacheCap {
 			break
 		}
-		if serveBudget[ld.hotspot] <= 0 {
-			continue
-		}
-		if cacheUsed[ld.hotspot] >= cache[ld.hotspot] {
-			continue
-		}
-		if placement[ld.hotspot].Contains(int(ld.video)) {
-			continue
-		}
-		placement[ld.hotspot].Add(int(ld.video))
-		cacheUsed[ld.hotspot]++
-		replicas++
-		serveBudget[ld.hotspot] -= ld.count
+		placement.Add(int(c.video))
+		used++
+		added++
+		budget -= c.count
 	}
-
-	if unrealized < 0 {
-		return nil, nil, 0, 0, fmt.Errorf("core: negative unrealized flow %d (bug)", unrealized)
-	}
-	return redirects, placement, unrealized, replicas, nil
+	return added, cands
 }
 
 // euEntry is a (video, target) candidate keyed by its content-placement

@@ -10,6 +10,7 @@ import (
 	"repro/internal/mcmf"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/similarity"
 	"repro/internal/trace"
 )
 
@@ -23,6 +24,13 @@ type Scheduler struct {
 	// ar is the reusable round arena behind buildNetwork and the flows
 	// accumulator; it shares the Scheduler's sequential-use contract.
 	ar *roundArena
+	// delta is the retained incremental-scheduling state, allocated
+	// lazily on the first round when Params.DeltaThreshold > 0 and
+	// dropped whenever a round errors or shadow verification mismatches.
+	delta *deltaState
+	// deltaTotals are the cumulative delta counters; unlike delta they
+	// survive retained-state drops for the Scheduler's lifetime.
+	deltaTotals DeltaStats
 }
 
 // New validates the inputs and returns a scheduler for the world.
@@ -113,52 +121,84 @@ func safeSolve(g *mcmf.Graph, source, sink int, limit int64, alg mcmf.Algorithm)
 // Hard errors remain only for contract violations by the caller: nil
 // or negative demand, mis-sized or negative capacity vectors.
 func (s *Scheduler) ScheduleRound(d *Demand, cons Constraints) (*Plan, error) {
-	start := time.Now()
+	svc, cache, err := s.validateRound(d, cons)
+	if err != nil {
+		return nil, err
+	}
+	if s.params.DeltaThreshold > 0 {
+		return s.scheduleDelta(d, svc, cache)
+	}
+	return s.scheduleFull(d, svc, cache, nil, false)
+}
+
+// validateRound checks the caller-contract inputs of one round and
+// resolves the effective capacity vectors.
+func (s *Scheduler) validateRound(d *Demand, cons Constraints) (svc []int64, cache []int, err error) {
 	if d == nil {
-		return nil, fmt.Errorf("core: nil demand")
+		return nil, nil, fmt.Errorf("core: nil demand")
 	}
 	m := len(s.world.Hotspots)
 	if d.NumHotspots() != m {
-		return nil, fmt.Errorf("core: demand covers %d hotspots, world has %d", d.NumHotspots(), m)
+		return nil, nil, fmt.Errorf("core: demand covers %d hotspots, world has %d", d.NumHotspots(), m)
 	}
 	if len(d.PerVideo) != m {
-		return nil, fmt.Errorf("core: demand per-video covers %d hotspots, world has %d", len(d.PerVideo), m)
+		return nil, nil, fmt.Errorf("core: demand per-video covers %d hotspots, world has %d", len(d.PerVideo), m)
 	}
 	for h, n := range d.Totals {
 		if n < 0 {
-			return nil, fmt.Errorf("core: negative demand %d at hotspot %d", n, h)
+			return nil, nil, fmt.Errorf("core: negative demand %d at hotspot %d", n, h)
 		}
 	}
-	svc := cons.Service
+	svc = cons.Service
 	if svc == nil {
 		svc = s.worldCapacities()
 	} else {
 		if len(svc) != m {
-			return nil, fmt.Errorf("core: capacities cover %d hotspots, world has %d", len(svc), m)
+			return nil, nil, fmt.Errorf("core: capacities cover %d hotspots, world has %d", len(svc), m)
 		}
 		for h, c := range svc {
 			if c < 0 {
-				return nil, fmt.Errorf("core: negative capacity %d at hotspot %d", c, h)
+				return nil, nil, fmt.Errorf("core: negative capacity %d at hotspot %d", c, h)
 			}
 		}
 	}
-	cache := cons.Cache
+	cache = cons.Cache
 	if cache == nil {
 		cache = s.worldCacheCapacities()
 	} else {
 		if len(cache) != m {
-			return nil, fmt.Errorf("core: cache capacities cover %d hotspots, world has %d", len(cache), m)
+			return nil, nil, fmt.Errorf("core: cache capacities cover %d hotspots, world has %d", len(cache), m)
 		}
 		for h, c := range cache {
 			if c < 0 {
-				return nil, fmt.Errorf("core: negative cache capacity %d at hotspot %d", c, h)
+				return nil, nil, fmt.Errorf("core: negative cache capacity %d at hotspot %d", c, h)
 			}
 		}
 	}
+	return svc, cache, nil
+}
+
+// scheduleFull runs one complete scheduling round: clustering, the full
+// θ sweep, replication, and plan assembly. When rec is non-nil the round
+// belongs to a delta-mode scheduler: each θ iteration's network and flow
+// solution is recorded into rec for the next round's replay, clustering
+// goes through the memoised refresh path, and Params.Deadline is ignored
+// (delta mode's latency story is the delta path, not truncation). quiet
+// suppresses all observability side effects (events, metrics, timers) —
+// the DeltaVerify shadow solve uses it so verification never perturbs
+// the published counters.
+func (s *Scheduler) scheduleFull(d *Demand, svc []int64, cache []int, rec *sweepRecord, quiet bool) (*Plan, error) {
+	start := time.Now()
 	overDeadline := func() bool {
+		if quiet || rec != nil {
+			return false
+		}
 		return s.params.Deadline > 0 && time.Since(start) >= s.params.Deadline
 	}
-	ro := newRoundObs(s.params)
+	var ro roundObs
+	if !quiet {
+		ro = newRoundObs(s.params)
+	}
 
 	over, under, phiOver, phiUnder := s.partition(d, svc)
 	var stats Stats
@@ -186,7 +226,13 @@ func (s *Scheduler) ScheduleRound(d *Demand, cons Constraints) (*Plan, error) {
 	// cache is empty whenever either side of the partition is, so the
 	// plan is identical to the full path's.
 	if stats.MaxFlow == 0 {
-		return s.finishRound(d, &stats, &ro, over, under, phiOver, s.ar.emptyFlows(), svc, cache, &distCache{}, 0)
+		dcache := &distCache{}
+		if rec != nil {
+			// A zero-iteration record: the next round, if unchanged,
+			// "replays" an empty sweep.
+			rec.captureRound(over, under, dcache, s.delta.clusterEpoch, true)
+		}
+		return s.finishRound(d, &stats, &ro, over, under, phiOver, s.ar.emptyFlows(), svc, cache, dcache, 0, quiet)
 	}
 
 	var clusterOf []int
@@ -194,7 +240,11 @@ func (s *Scheduler) ScheduleRound(d *Demand, cons Constraints) (*Plan, error) {
 		t0 := ro.now()
 		var nClusters int
 		var err error
-		clusterOf, nClusters, err = s.contentClusters(d)
+		if rec != nil {
+			clusterOf, nClusters, err = s.delta.refreshClusters(s, d)
+		} else {
+			clusterOf, nClusters, err = s.contentClusters(d)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -209,7 +259,6 @@ func (s *Scheduler) ScheduleRound(d *Demand, cons Constraints) (*Plan, error) {
 	}
 
 	flows := s.ar.emptyFlows()
-	var moved int64
 
 	// The over×under distances are fixed for the whole round: compute
 	// them once and share the cache across every θ iteration and the
@@ -218,7 +267,40 @@ func (s *Scheduler) ScheduleRound(d *Demand, cons Constraints) (*Plan, error) {
 	dcache := s.newDistCache(over, under, par.Workers(s.params.Workers))
 	stats.DistanceCalcs = dcache.calcs()
 
+	mcmfPaths := s.runSweep(over, under, phiOver, phiUnder, dcache, clusterOf, flows, &stats, &ro, rec, overDeadline)
+	stats.Phases.Balance = ro.since(tBalance)
+	if rec != nil {
+		rec.captureRound(over, under, dcache, s.delta.clusterEpoch, !stats.Degraded)
+	}
+
+	return s.finishRound(d, &stats, &ro, over, under, phiOver, flows, svc, cache, dcache, mcmfPaths, quiet)
+}
+
+// runSweep runs Algorithm 1's θ sweep plus the residual Gd pass,
+// accumulating extracted flows into flows and decrementing the φ
+// vectors. When rec is non-nil every iteration's network is built into
+// the record's own retained graph and its solved flow vector is
+// snapshotted so the next round can replay the sweep without solving.
+// Returns the total MCMF augmenting-path count.
+func (s *Scheduler) runSweep(
+	over, under []int,
+	phiOver, phiUnder []int64,
+	dcache *distCache,
+	clusterOf []int,
+	flows map[int64]int64,
+	stats *Stats,
+	ro *roundObs,
+	rec *sweepRecord,
+	overDeadline func() bool,
+) int64 {
+	var moved int64
 	var mcmfPaths int64
+	dest := func() (*mcmf.Graph, *flowNet) {
+		if rec != nil {
+			return rec.dest()
+		}
+		return s.ar.g, &s.ar.net
+	}
 
 	// θ sweep over the content-aggregation network Gc (Algorithm 1,
 	// lines 5-10). The sweep is driven by integer step index so float
@@ -234,7 +316,8 @@ func (s *Scheduler) ScheduleRound(d *Demand, cons Constraints) (*Plan, error) {
 			break
 		}
 		tIter := ro.now()
-		nb := s.buildNetwork(theta, over, under, phiOver, phiUnder, dcache, clusterOf, !s.params.DisableGuides)
+		g, shell := dest()
+		nb := s.buildNetworkIn(g, shell, theta, over, under, phiOver, phiUnder, dcache, clusterOf, !s.params.DisableGuides)
 		stats.DirectEdges += nb.directPairs
 		stats.GuideNodes += nb.guideNodes
 		var extracted int64
@@ -263,6 +346,9 @@ func (s *Scheduler) ScheduleRound(d *Demand, cons Constraints) (*Plan, error) {
 				moved += extracted
 			}
 		}
+		if rec != nil {
+			rec.capture(theta, false, extracted, paths)
+		}
 		stats.Iterations++
 		ro.emit("theta-iter",
 			obs.F("theta", theta),
@@ -278,7 +364,8 @@ func (s *Scheduler) ScheduleRound(d *Demand, cons Constraints) (*Plan, error) {
 	// lines 11-13): move whatever the guided rounds left behind.
 	if moved < stats.MaxFlow && !overDeadline() {
 		tRes := ro.now()
-		nb := s.buildNetwork(s.params.Theta2, over, under, phiOver, phiUnder, dcache, nil, false)
+		g, shell := dest()
+		nb := s.buildNetworkIn(g, shell, s.params.Theta2, over, under, phiOver, phiUnder, dcache, nil, false)
 		var extracted int64
 		var paths int64
 		var recovered int64
@@ -300,6 +387,9 @@ func (s *Scheduler) ScheduleRound(d *Demand, cons Constraints) (*Plan, error) {
 				moved += extracted
 			}
 		}
+		if rec != nil {
+			rec.capture(s.params.Theta2, true, extracted, paths)
+		}
 		ro.emit("residual-pass",
 			obs.I("direct_pairs", int64(nb.directPairs)),
 			obs.I("moved", extracted),
@@ -312,15 +402,12 @@ func (s *Scheduler) ScheduleRound(d *Demand, cons Constraints) (*Plan, error) {
 		ro.emit("deadline", obs.F("theta", s.params.Theta2))
 	}
 	stats.MovedFlow = moved
-	stats.Phases.Balance = ro.since(tBalance)
-
-	return s.finishRound(d, &stats, &ro, over, under, phiOver, flows, svc, cache, dcache, mcmfPaths)
+	return mcmfPaths
 }
 
 // finishRound runs the round's tail shared by the full θ-sweep path and
-// the MaxFlow==0 fast path: CDN overflow accounting, Procedure 1
-// replication, the realised-flow reconciliation, Ω1, and plan/event
-// assembly.
+// the MaxFlow==0 fast path: Procedure 1 replication followed by
+// assemblePlan.
 func (s *Scheduler) finishRound(
 	d *Demand,
 	stats *Stats,
@@ -332,16 +419,8 @@ func (s *Scheduler) finishRound(
 	cache []int,
 	dcache *distCache,
 	mcmfPaths int64,
+	quiet bool,
 ) (*Plan, error) {
-	m := len(s.world.Hotspots)
-
-	// Whatever surplus remains unmovable within θ2 goes to the origin
-	// CDN server (Algorithm 1, line 14).
-	overflow := make([]int64, m)
-	for _, i := range over {
-		overflow[i] = phiOver[i]
-	}
-
 	// Procedure 1: realise flows into per-video redirects and build
 	// the placement.
 	tRep := ro.now()
@@ -352,6 +431,34 @@ func (s *Scheduler) finishRound(
 	stats.UnrealizedFlow = unrealized
 	stats.Replicas = replicas
 	stats.Phases.Replicate = ro.since(tRep)
+	return s.assemblePlan(stats, ro, over, under, phiOver, flows, redirects, placement, dcache, mcmfPaths, quiet), nil
+}
+
+// assemblePlan runs the round's final accounting — CDN overflow, the
+// realised-flow reconciliation, Ω1 — publishes the round's metrics
+// (unless quiet), and assembles the Plan. It is shared by the full and
+// delta paths, so both produce byte-identical canonical output from
+// identical inputs.
+func (s *Scheduler) assemblePlan(
+	stats *Stats,
+	ro *roundObs,
+	over, under []int,
+	phiOver []int64,
+	flows map[int64]int64,
+	redirects []Redirect,
+	placement []similarity.Set,
+	dcache *distCache,
+	mcmfPaths int64,
+	quiet bool,
+) *Plan {
+	m := len(s.world.Hotspots)
+
+	// Whatever surplus remains unmovable within θ2 goes to the origin
+	// CDN server (Algorithm 1, line 14).
+	overflow := make([]int64, m)
+	for _, i := range over {
+		overflow[i] = phiOver[i]
+	}
 
 	// Unrealised flow stays at its overloaded source and therefore
 	// also falls back to the CDN.
@@ -389,9 +496,11 @@ func (s *Scheduler) finishRound(
 		obs.D("cluster_dur", stats.Phases.Cluster),
 		obs.D("balance_dur", stats.Phases.Balance),
 		obs.D("replicate_dur", stats.Phases.Replicate))
-	publishRound(s.params.Obs, stats, mcmfPaths)
+	if !quiet {
+		publishRound(s.params.Obs, stats, mcmfPaths)
+	}
 
-	plan := &Plan{
+	return &Plan{
 		Flows:         flowEdges(flows, realized, m),
 		Redirects:     redirects,
 		Placement:     placement,
@@ -400,7 +509,6 @@ func (s *Scheduler) finishRound(
 		Stats:         *stats,
 		Events:        ro.events,
 	}
-	return plan, nil
 }
 
 // boolAttr renders a bool as a 0/1 event attribute value.

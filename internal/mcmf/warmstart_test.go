@@ -1,0 +1,126 @@
+package mcmf
+
+import (
+	"math"
+	"testing"
+)
+
+// diamond builds the 4-node test network used across the warm-start
+// tests: two disjoint source→sink routes with distinct costs.
+func diamond(t *testing.T) (*Graph, []EdgeID) {
+	t.Helper()
+	g := NewGraph(4)
+	ids := make([]EdgeID, 0, 4)
+	add := func(from, to int, cap int64, cost float64) {
+		id, err := g.AddEdge(from, to, cap, cost)
+		if err != nil {
+			t.Fatalf("AddEdge: %v", err)
+		}
+		ids = append(ids, id)
+	}
+	add(0, 1, 5, 1) // cheap route 0→1→3
+	add(1, 3, 5, 1)
+	add(0, 2, 5, 3) // expensive route 0→2→3
+	add(2, 3, 5, 3)
+	return g, ids
+}
+
+// TestSetFlowsRoundTrip solves, snapshots with AppendFlows, resets, and
+// re-imposes the snapshot: every edge's Flow and EdgeInfo must match the
+// solved state exactly.
+func TestSetFlowsRoundTrip(t *testing.T) {
+	g, ids := diamond(t)
+	res, err := g.MinCostMaxFlow(0, 3)
+	if err != nil {
+		t.Fatalf("MinCostMaxFlow: %v", err)
+	}
+	if res.Flow != 10 {
+		t.Fatalf("flow %d, want 10", res.Flow)
+	}
+
+	snap := g.AppendFlows(nil)
+	if len(snap) != g.NumEdges() {
+		t.Fatalf("snapshot covers %d edges, graph has %d", len(snap), g.NumEdges())
+	}
+	want := make([]Edge, len(ids))
+	for k, id := range ids {
+		want[k], _ = g.EdgeInfo(id)
+	}
+
+	g.Reset()
+	for _, id := range ids {
+		if g.Flow(id) != 0 {
+			t.Fatalf("edge %d carries flow after Reset", id)
+		}
+	}
+	if err := g.SetFlows(snap); err != nil {
+		t.Fatalf("SetFlows: %v", err)
+	}
+	for k, id := range ids {
+		got, _ := g.EdgeInfo(id)
+		if got != want[k] {
+			t.Fatalf("edge %d after SetFlows: %+v, want %+v", id, got, want[k])
+		}
+	}
+}
+
+// TestSetFlowsWarmStart imposes a partial flow and checks Solve only
+// pushes the remainder — the residual patch left a consistent network
+// the solver can augment on top of.
+func TestSetFlowsWarmStart(t *testing.T) {
+	g, _ := diamond(t)
+	// Saturate the cheap route by hand: 5 units on edges 0 and 1.
+	if err := g.SetFlows([]int64{5, 5, 0, 0}); err != nil {
+		t.Fatalf("SetFlows: %v", err)
+	}
+	res, err := g.MinCostMaxFlow(0, 3)
+	if err != nil {
+		t.Fatalf("MinCostMaxFlow: %v", err)
+	}
+	if res.Flow != 5 {
+		t.Fatalf("warm-started solve pushed %d units, want the remaining 5", res.Flow)
+	}
+	if math.Abs(res.Cost-5*6) > 1e-9 {
+		t.Fatalf("warm-started solve cost %v, want 30 (expensive route only)", res.Cost)
+	}
+	// A fully warm-started graph has nothing left to push.
+	snap := g.AppendFlows(nil)
+	g.Reset()
+	if err := g.SetFlows(snap); err != nil {
+		t.Fatalf("SetFlows(full): %v", err)
+	}
+	res, err = g.MinCostMaxFlow(0, 3)
+	if err != nil {
+		t.Fatalf("MinCostMaxFlow: %v", err)
+	}
+	if res.Flow != 0 || res.Paths != 0 {
+		t.Fatalf("fully warm-started solve still pushed %d units over %d paths", res.Flow, res.Paths)
+	}
+}
+
+// TestSetFlowsValidation checks the validate-then-apply contract: bad
+// vectors are rejected atomically.
+func TestSetFlowsValidation(t *testing.T) {
+	g, ids := diamond(t)
+	if _, err := g.MinCostMaxFlow(0, 3); err != nil {
+		t.Fatalf("MinCostMaxFlow: %v", err)
+	}
+	before := make([]int64, 0, len(ids))
+	before = g.AppendFlows(before)
+
+	if err := g.SetFlows([]int64{1, 2}); err == nil {
+		t.Fatalf("short vector accepted")
+	}
+	if err := g.SetFlows([]int64{-1, 0, 0, 0}); err == nil {
+		t.Fatalf("negative flow accepted")
+	}
+	if err := g.SetFlows([]int64{0, 0, 0, 6}); err == nil {
+		t.Fatalf("over-capacity flow accepted")
+	}
+	after := g.AppendFlows(nil)
+	for k := range before {
+		if before[k] != after[k] {
+			t.Fatalf("rejected SetFlows mutated edge %d: %d → %d", k, before[k], after[k])
+		}
+	}
+}

@@ -70,7 +70,7 @@ type Config struct {
 	DrainTimeout time.Duration
 	// Registry, when non-nil, receives the server's metrics
 	// (server.ingest.*, server.lookup.*, server.slots*, server.plan.*,
-	// and the server.slot.latency_ms histogram). Nil allocates a
+	// and the server.slot.latency_us histogram). Nil allocates a
 	// private registry so counters still work internally.
 	Registry *obs.Registry
 	// Tracer, when non-nil, receives one "swap" event per recomputed

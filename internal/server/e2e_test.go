@@ -122,6 +122,72 @@ func TestServerMatchesOfflineSim(t *testing.T) {
 	}
 }
 
+// TestServerDeltaMatchesOfflineFullSim holds the delta scheduler to the
+// same byte-identity bar: a live server running in delta mode
+// (incremental rounds with a periodic full-solve fallback) must serve
+// plans byte-identical to the offline simulator's full solves of the
+// same trace.
+func TestServerDeltaMatchesOfflineFullSim(t *testing.T) {
+	world, tr := e2eWorldAndTrace(t)
+
+	// Offline reference: plain full solves.
+	offline := make(map[int]string)
+	_, err := sim.Run(world, tr, scheme.NewRBCAer(core.DefaultParams()), sim.Options{
+		PlanSink: func(slot int, plan *core.Plan) {
+			offline[slot] = hex.EncodeToString(plan.Canonical())
+		},
+	})
+	if err != nil {
+		t.Fatalf("sim.Run: %v", err)
+	}
+
+	// Online: delta mode, never falling back on drift but re-solving
+	// fully every third slot, so the replay crosses cold, delta, and
+	// periodic-fallback rounds.
+	deltaParams := core.DefaultParams()
+	deltaParams.DeltaThreshold = 1
+	deltaParams.FullSolveEvery = 3
+	reg := obs.NewRegistry()
+	srv, err := server.New(server.Config{
+		World:       world,
+		Params:      deltaParams,
+		Registry:    reg,
+		PlanHistory: tr.Slots + 1,
+		QueueBound:  1 << 20,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer srv.Close()
+
+	report, err := loadgen.Replay("http://"+srv.Addr(), world, tr, loadgen.Options{Workers: 8})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if report.Rejected != 0 {
+		t.Fatalf("%d requests rejected", report.Rejected)
+	}
+
+	online := make(map[int]string)
+	for _, rec := range srv.Plans() {
+		online[rec.Slot] = rec.Canonical
+	}
+	if len(online) != len(offline) {
+		t.Fatalf("online scheduled %d slots, offline %d", len(online), len(offline))
+	}
+	for slot, want := range offline {
+		if got := online[slot]; got != want {
+			t.Errorf("slot %d: delta-mode plan differs from offline full solve", slot)
+		}
+	}
+	if got := reg.Counter("server.plan.delta_rounds").Value(); got == 0 {
+		t.Error("no delta rounds recorded — the replay never exercised the delta path")
+	}
+}
+
 // TestReplayByHotspot exercises loadgen's pre-resolved aggregation mode
 // against the same byte-identity bar: resolving nearest hotspots on the
 // client side must not change the plans.

@@ -64,7 +64,11 @@ type redirectEntry struct {
 // and so on, modulo total).
 func (e *redirectEntry) next() int {
 	i := e.cursor.Add(1) - 1
-	pos := i % e.total
+	// Reduce modulo total in unsigned space: the int64 cursor
+	// eventually wraps negative, and a signed % would then yield a
+	// negative pos, pinning every lookup to targets[0] forever. The
+	// uint64 view of the counter stays continuous across the wrap.
+	pos := int64(uint64(i) % uint64(e.total))
 	j := sort.Search(len(e.cum), func(k int) bool { return e.cum[k] > pos })
 	return int(e.targets[j])
 }

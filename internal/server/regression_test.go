@@ -1,0 +1,201 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/similarity"
+)
+
+// TestAdvanceRejectedAfterClose is the lifecycle regression: a tick or
+// manual advance that loses the race with Close must be rejected under
+// the same lock that guards closed, not enqueue a snapshot the worker
+// will never drain.
+func TestAdvanceRejectedAfterClose(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := newTestServer(t, Config{World: testWorld(3, 10, 10), Registry: reg})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	slotBefore := s.slot
+
+	// A late ticker-style advance (what tickLoop calls) must be a no-op.
+	if _, ok := s.advance(nil, false); ok {
+		t.Error("advance after Close reported ok")
+	}
+	if got := reg.Counter("server.slots.rejected").Value(); got != 1 {
+		t.Errorf("server.slots.rejected = %d, want 1", got)
+	}
+	if s.slot != slotBefore {
+		t.Errorf("rejected advance still moved the slot counter %d → %d", slotBefore, s.slot)
+	}
+	if len(s.queue) != 0 {
+		t.Errorf("rejected advance left %d snapshots queued", len(s.queue))
+	}
+
+	// The done channel of a rejected advance must stay open (the caller
+	// gets ok=false instead of a wait), so AdvanceSlot errors promptly.
+	if _, _, err := s.AdvanceSlot(context.Background()); err == nil {
+		t.Error("AdvanceSlot after Close succeeded")
+	}
+}
+
+// TestCloseAdvanceSlotRace interleaves AdvanceSlot callers and ingest
+// with Close (run under -race in CI): no caller may hang, and after
+// Close returns no snapshot may remain queued — accepted demand is
+// either scheduled by the final flush or was rejected visibly.
+func TestCloseAdvanceSlotRace(t *testing.T) {
+	for round := 0; round < 8; round++ {
+		s := newTestServer(t, Config{World: testWorld(4, 10, 10), QueueBound: 1 << 20})
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 20; i++ {
+					body := fmt.Sprintf(`{"user":%d,"video":%d,"hotspot":%d}`, w, i%100, i%4)
+					do(t, s, http.MethodPost, "/ingest", body)
+					if _, _, err := s.AdvanceSlot(context.Background()); err != nil {
+						return // closed mid-loop: expected
+					}
+				}
+			}(w)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if err := s.Close(); err != nil {
+				t.Errorf("Close: %v", err)
+			}
+		}()
+		close(start)
+		wg.Wait()
+		s.mu.Lock()
+		queued := len(s.queue)
+		s.mu.Unlock()
+		if queued != 0 {
+			t.Fatalf("round %d: %d snapshots stranded in the queue after Close", round, queued)
+		}
+	}
+}
+
+// TestRedirectCursorOverflow is the ~2^63-lookup regression: once the
+// signed round-robin cursor wraps negative, a signed modulo pinned
+// every lookup to targets[0] forever. Seeding the cursor just below the
+// wrap must keep the proportional fan-out intact across it.
+func TestRedirectCursorOverflow(t *testing.T) {
+	plan := &core.Plan{
+		Redirects: []core.Redirect{
+			{From: 0, To: 1, Video: 5, Count: 1},
+			{From: 0, To: 2, Video: 5, Count: 1000},
+		},
+		Placement:     make([]similarity.Set, 3),
+		OverflowToCDN: make([]int64, 3),
+	}
+	sp := newServingPlan(1, 0, 1001, plan, 10)
+	e := sp.redirect[int64(0)*10+5]
+	if e == nil {
+		t.Fatal("no redirect entry for (0, 5)")
+	}
+	e.cursor.Store(math.MaxInt64 - 1)
+
+	counts := map[int]int{}
+	for i := 0; i < 4004; i++ {
+		counts[e.next()]++
+	}
+	// 4004 draws over a 1:1000 split must send the overwhelming
+	// majority to target 2, before AND after the cursor wraps. The
+	// broken signed modulo sent everything after the wrap to target 1.
+	if counts[2] < 3990 {
+		t.Fatalf("target 2 served %d of 4004 lookups across the cursor wrap (target 1: %d)",
+			counts[2], counts[1])
+	}
+}
+
+// TestSlotLatencyMicrosHistogram pins the latency histogram to
+// microsecond buckets: sub-millisecond rounds (the norm for delta
+// slots) must land in a non-zero bucket instead of all collapsing into
+// bucket zero of a milliseconds histogram.
+func TestSlotLatencyMicrosHistogram(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := newTestServer(t, Config{World: testWorld(3, 10, 10), Registry: reg})
+	s.wg.Add(1)
+	go s.recomputeLoop()
+	defer func() {
+		s.stopOnce.Do(func() { close(s.stop) })
+		s.wg.Wait()
+	}()
+	for v := 0; v < 4; v++ {
+		body := fmt.Sprintf(`{"user":1,"video":%d,"hotspot":0}`, v)
+		if rr := do(t, s, http.MethodPost, "/ingest", body); rr.Code != http.StatusAccepted {
+			t.Fatalf("ingest: %d", rr.Code)
+		}
+	}
+	if _, _, err := s.AdvanceSlot(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Histogram("server.slot.latency_us", obs.PowersOf2Buckets(24)).Count(); got != 1 {
+		t.Errorf("server.slot.latency_us count = %d, want 1", got)
+	}
+	if got := reg.Histogram("server.slot.latency_ms", obs.PowersOf2Buckets(16)).Count(); got != 0 {
+		t.Errorf("legacy server.slot.latency_ms histogram still observed %d values", got)
+	}
+}
+
+// TestServerDeltaMode checks the delta wiring: healthz reports the
+// scheduling mode, and delta rounds surface as server.plan.delta_*
+// counters.
+func TestServerDeltaMode(t *testing.T) {
+	params := core.DefaultParams()
+	params.DeltaThreshold = 1
+	reg := obs.NewRegistry()
+	s := newTestServer(t, Config{World: testWorld(3, 10, 10), Params: params, Registry: reg})
+	s.wg.Add(1)
+	go s.recomputeLoop()
+	defer func() {
+		s.stopOnce.Do(func() { close(s.stop) })
+		s.wg.Wait()
+	}()
+
+	rr := do(t, s, http.MethodGet, "/healthz", "")
+	if !strings.Contains(rr.Body.String(), `"mode":"delta"`) {
+		t.Errorf("healthz = %s, want mode delta", rr.Body.String())
+	}
+
+	for slot := 0; slot < 2; slot++ {
+		for v := 0; v < 4; v++ {
+			body := fmt.Sprintf(`{"user":1,"video":%d,"hotspot":0}`, v)
+			if rr := do(t, s, http.MethodPost, "/ingest", body); rr.Code != http.StatusAccepted {
+				t.Fatalf("ingest: %d", rr.Code)
+			}
+		}
+		if _, _, err := s.AdvanceSlot(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Counter("server.plan.delta_rounds").Value(); got != 1 {
+		t.Errorf("server.plan.delta_rounds = %d, want 1 (cold slot + one delta slot)", got)
+	}
+
+	full := newTestServer(t, Config{World: testWorld(3, 10, 10)})
+	rr = do(t, full, http.MethodGet, "/healthz", "")
+	if !strings.Contains(rr.Body.String(), `"mode":"full"`) {
+		t.Errorf("healthz = %s, want mode full", rr.Body.String())
+	}
+}

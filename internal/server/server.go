@@ -181,7 +181,7 @@ func (s *Server) Close() error {
 	}
 	// Final flush: anything accepted before shutdown still gets
 	// scheduled and recorded.
-	s.advance(nil)
+	s.advance(nil, true)
 	s.stopOnce.Do(func() { close(s.stop) })
 	s.wg.Wait()
 	return err
@@ -197,7 +197,7 @@ func (s *Server) tickLoop() {
 	for {
 		select {
 		case <-t.C:
-			s.advance(nil)
+			s.advance(nil, false)
 		case <-s.stop:
 			return
 		}
@@ -209,9 +209,21 @@ func (s *Server) tickLoop() {
 // number. An empty slot (nothing accepted) advances the slot counter
 // without queueing work. done, when non-nil, is closed once the
 // snapshot's plan is live (immediately for empty slots).
-func (s *Server) advance(done chan struct{}) int {
+//
+// After Close has marked the server closed, only Close's own final
+// flush (final=true) may still advance: a tick or AdvanceSlot racing
+// Close could otherwise enqueue a snapshot after the worker drained the
+// queue for the last time, stranding accepted demand unscheduled and
+// leaving AdvanceSlot waiters hanging. Late advances are rejected
+// (ok=false, done left open) and counted as server.slots.rejected.
+func (s *Server) advance(done chan struct{}, final bool) (slot int, ok bool) {
 	s.mu.Lock()
-	slot := s.slot
+	if s.closed && !final {
+		s.mu.Unlock()
+		s.reg.Counter("server.slots.rejected").Inc()
+		return 0, false
+	}
+	slot = s.slot
 	s.slot++
 	demand, n := drainDemand(s.shards, len(s.world.Hotspots))
 	s.reg.Counter("server.slots").Inc()
@@ -221,7 +233,7 @@ func (s *Server) advance(done chan struct{}) int {
 		if done != nil {
 			close(done)
 		}
-		return slot
+		return slot, true
 	}
 	s.reg.Histogram("server.slot.requests", obs.PowersOf2Buckets(24)).Observe(n)
 	snap := &slotSnapshot{slot: slot, demand: demand, requests: n, start: time.Now()}
@@ -247,7 +259,7 @@ func (s *Server) advance(done chan struct{}) int {
 	case s.kick <- struct{}{}:
 	default:
 	}
-	return slot
+	return slot, true
 }
 
 // AdvanceSlot forces a slot boundary and blocks until the slot's plan
@@ -256,14 +268,11 @@ func (s *Server) advance(done chan struct{}) int {
 // the load generator, tests, and manual-slot deployments
 // (SlotDuration 0); it also works alongside a running ticker.
 func (s *Server) AdvanceSlot(ctx context.Context) (int, PlanRecord, error) {
-	s.mu.Lock()
-	closed := s.closed
-	s.mu.Unlock()
-	if closed {
+	done := make(chan struct{})
+	slot, ok := s.advance(done, false)
+	if !ok {
 		return 0, PlanRecord{}, errors.New("server: closed")
 	}
-	done := make(chan struct{})
-	slot := s.advance(done)
 	select {
 	case <-done:
 	case <-s.stop:
@@ -347,8 +356,18 @@ func (s *Server) runSlot(snap *slotSnapshot) {
 	if plan.Degraded {
 		s.reg.Counter("server.plan.degraded").Inc()
 	}
+	if plan.Stats.DeltaRound {
+		s.reg.Counter("server.plan.delta_rounds").Inc()
+	}
+	if plan.Stats.DeltaFallback {
+		s.reg.Counter("server.plan.delta_fallbacks").Inc()
+	}
 	latency := time.Since(snap.start)
-	s.reg.Histogram("server.slot.latency_ms", obs.PowersOf2Buckets(16)).Observe(latency.Milliseconds())
+	// Microsecond buckets: scheduling rounds routinely finish in well
+	// under a millisecond (delta rounds especially), where millisecond
+	// buckets collapsed everything into bucket zero. 2^24 µs ≈ 16.8 s
+	// comfortably covers the slowest degraded round.
+	s.reg.Histogram("server.slot.latency_us", obs.PowersOf2Buckets(24)).Observe(latency.Microseconds())
 	s.reg.Timer("server.slot.schedule").Observe(latency)
 	if s.cfg.Tracer != nil {
 		s.cfg.Tracer.Emit(obs.Event{Type: "swap", Slot: snap.slot, Attrs: []obs.Attr{
@@ -502,10 +521,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	slot, epoch := s.slot, s.epoch
 	s.mu.Unlock()
+	mode := "full"
+	if s.cfg.Params.DeltaThreshold > 0 {
+		mode = "delta"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status": "ok",
 		"slot":   slot,
 		"epoch":  epoch,
+		"mode":   mode,
 	})
 }
 
