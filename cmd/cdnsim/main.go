@@ -6,6 +6,10 @@
 //
 //	cdnsim [flags]
 //
+//	-scenario FILE             run a declarative scenario (YAML): timed
+//	                           fault events, seeded stress generation,
+//	                           and assertions; exits non-zero when any
+//	                           assertion fails (see DESIGN.md §13)
 //	-world FILE -trace FILE    input files (from cdntrace); when absent
 //	                           a fresh eval-scale world is generated
 //	-scheme rbcaer|nearest|random|lp|hier|p2c|reactive-lru|reactive-lfu
@@ -45,6 +49,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("cdnsim", flag.ContinueOnError)
+	scenarioPath := fs.String("scenario", "", "scenario YAML file: run it and report assertion pass/fail")
 	worldPath := fs.String("world", "", "world JSON file (default: generate eval world)")
 	tracePath := fs.String("trace", "", "requests CSV file (default: generate eval trace)")
 	schemeName := fs.String("scheme", "rbcaer", "scheduling policy: rbcaer, nearest, random, lp, hier, p2c, reactive-lru, reactive-lfu")
@@ -63,6 +68,13 @@ func run(args []string) error {
 	eventsOut := fs.String("events-out", "", "write round/slot trace events (JSONL) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *scenarioPath != "" {
+		if *worldPath != "" || *tracePath != "" {
+			return fmt.Errorf("-scenario carries its own world; drop -world/-trace")
+		}
+		return runScenario(*scenarioPath, *workers)
 	}
 
 	// Observability backends are allocated only when asked for, so the
@@ -186,6 +198,25 @@ func run(args []string) error {
 	if m.Phases.Total() > 0 {
 		fmt.Printf("phase times:           cluster %v, balance %v, replicate %v\n",
 			m.Phases.Cluster, m.Phases.Balance, m.Phases.Replicate)
+	}
+	return nil
+}
+
+// runScenario loads, executes, and reports a declarative scenario. A
+// violated assertion is an error (non-zero exit) after the full report
+// has been printed.
+func runScenario(path string, workers int) error {
+	doc, err := crowdcdn.LoadScenario(path)
+	if err != nil {
+		return err
+	}
+	rep, err := doc.Execute(crowdcdn.ScenarioOptions{Workers: workers})
+	if err != nil {
+		return err
+	}
+	rep.WriteText(os.Stdout)
+	if !rep.Pass {
+		return fmt.Errorf("scenario %s: assertions failed", doc.Name)
 	}
 	return nil
 }

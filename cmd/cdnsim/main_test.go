@@ -131,3 +131,59 @@ func TestRunErrors(t *testing.T) {
 		t.Error("invalid churn accepted")
 	}
 }
+
+// writeScenario persists a scenario document for the -scenario path.
+func writeScenario(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "scenario.yaml")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const scenarioBody = `name: cli
+world:
+  seed: 9
+  hotspots: 20
+  videos: 300
+  users: 200
+  requests: 1000
+  slots: 3
+run:
+  scheme: nearest
+assert:
+  - TotalRequests == 1000
+`
+
+func TestRunScenarioPasses(t *testing.T) {
+	path := writeScenario(t, scenarioBody)
+	if err := run([]string{"-scenario", path}); err != nil {
+		t.Fatalf("passing scenario errored: %v", err)
+	}
+}
+
+func TestRunScenarioViolationIsError(t *testing.T) {
+	path := writeScenario(t, strings.Replace(scenarioBody, "== 1000", "== 1", 1))
+	err := run([]string{"-scenario", path})
+	if err == nil {
+		t.Fatal("violated assertion did not error (cdnsim would exit zero)")
+	}
+	if !strings.Contains(err.Error(), "assertions failed") {
+		t.Fatalf("error = %v, want assertion failure", err)
+	}
+}
+
+func TestRunScenarioFlagConflicts(t *testing.T) {
+	worldPath, tracePath := writeTinyWorld(t)
+	path := writeScenario(t, scenarioBody)
+	if err := run([]string{"-scenario", path, "-world", worldPath, "-trace", tracePath}); err == nil {
+		t.Error("-scenario with -world/-trace accepted")
+	}
+	if err := run([]string{"-scenario", "/does/not/exist.yaml"}); err == nil {
+		t.Error("missing scenario file accepted")
+	}
+	if err := run([]string{"-scenario", tracePath}); err == nil {
+		t.Error("non-scenario file accepted")
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/predict"
 	"repro/internal/region"
+	"repro/internal/scenario"
 	"repro/internal/scheme"
 	"repro/internal/server"
 	"repro/internal/server/loadgen"
@@ -115,6 +116,28 @@ type (
 	// StaleReports lags and thins the demand reports policies see.
 	StaleReports = fault.StaleReports
 )
+
+// Declarative scenarios (see internal/scenario and DESIGN.md §13). A
+// scenario file (YAML subset, zero dependencies) declares a world,
+// timed fault events, seeded stress generation, and assertions; Execute
+// compiles it onto a FaultScenario and reports every assertion's
+// verdict. cdnsim -scenario runs one from the command line.
+type (
+	// ScenarioDoc is one parsed scenario file.
+	ScenarioDoc = scenario.Doc
+	// ScenarioOptions parameterise scenario execution.
+	ScenarioOptions = scenario.ExecOptions
+	// ScenarioReport is a finished scenario run with per-assertion
+	// verdicts; its text rendering is deterministic across worker
+	// counts.
+	ScenarioReport = scenario.Report
+)
+
+// LoadScenario reads and parses a scenario file.
+func LoadScenario(path string) (*ScenarioDoc, error) { return scenario.Load(path) }
+
+// ParseScenario parses scenario source text.
+func ParseScenario(src []byte) (*ScenarioDoc, error) { return scenario.Parse(src) }
 
 // Observability (see internal/obs and DESIGN.md §8). A Registry and a
 // Tracer plug into SimOptions (and Params.Obs for RBCAer round

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -32,6 +33,27 @@ type Timeline struct {
 	drops [][]bool
 
 	lag int
+
+	counts CauseCounts
+}
+
+// CauseCounts breaks a compiled timeline's injected faults down by
+// family: how many (hotspot, slot) pairs each family touches over the
+// whole run. The counts are fixed at Compile time — a pure function of
+// (world, slots, seed, scenario) — so they are identical however the
+// slots are later scheduled.
+type CauseCounts struct {
+	// ChurnSlots counts (hotspot, slot) pairs offline due to Markov
+	// session churn (after regional outages claim their overlap).
+	ChurnSlots int64
+	// OutageSlots counts (hotspot, slot) pairs inside a regional outage.
+	OutageSlots int64
+	// DegradedSlots counts (hotspot, slot) pairs whose service or cache
+	// capacity is scaled below nominal (each pair counted once even when
+	// both resources degrade).
+	DegradedSlots int64
+	// DroppedReports counts (hotspot, slot) load reports lost in flight.
+	DroppedReports int64
 }
 
 // Compile expands the scenario into a per-slot fault timeline. All
@@ -150,7 +172,69 @@ func Compile(world *trace.World, slots int, seed int64, sc *Scenario) (*Timeline
 			}
 		}
 	}
+	tl.counts = countCauses(tl, world)
 	return tl, nil
+}
+
+// countCauses tallies the compiled timeline's per-family fault counts.
+func countCauses(tl *Timeline, world *trace.World) CauseCounts {
+	var c CauseCounts
+	for t := 0; t < tl.slots; t++ {
+		if row := tl.Causes(t); row != nil {
+			for _, cause := range row {
+				switch cause {
+				case CauseChurn:
+					c.ChurnSlots++
+				case CauseOutage:
+					c.OutageSlots++
+				}
+			}
+		}
+		svc := tl.ServiceCapacities(t)
+		cache := tl.CacheCapacities(t)
+		if svc != nil || cache != nil {
+			for h := range world.Hotspots {
+				degraded := svc != nil && svc[h] < world.Hotspots[h].ServiceCapacity
+				degraded = degraded || (cache != nil && cache[h] < world.Hotspots[h].CacheCapacity)
+				if degraded {
+					c.DegradedSlots++
+				}
+			}
+		}
+		if drops := tl.DroppedReports(t); drops != nil {
+			for _, d := range drops {
+				if d {
+					c.DroppedReports++
+				}
+			}
+		}
+	}
+	return c
+}
+
+// Counts returns the timeline's per-family fault counts. A nil timeline
+// has zero counts.
+func (tl *Timeline) Counts() CauseCounts {
+	if tl == nil {
+		return CauseCounts{}
+	}
+	return tl.counts
+}
+
+// Publish exports the timeline's per-family fault counts as
+// fault.cause.* counters, so scenario assertions and the debug server
+// can target them. All four family counters are published — zero-valued
+// when the family injects nothing — whenever a timeline exists, keeping
+// the counter set (and the deterministic registry snapshot) independent
+// of which families happen to fire. A nil registry is a no-op.
+func (tl *Timeline) Publish(reg *obs.Registry) {
+	if tl == nil || reg == nil {
+		return
+	}
+	reg.Counter("fault.cause.churn").Add(tl.counts.ChurnSlots)
+	reg.Counter("fault.cause.outage").Add(tl.counts.OutageSlots)
+	reg.Counter("fault.cause.degradation").Add(tl.counts.DegradedSlots)
+	reg.Counter("fault.cause.stale_drops").Add(tl.counts.DroppedReports)
 }
 
 // setCause records an outage cause, letting CauseOutage override

@@ -207,7 +207,7 @@ func (s *Scenario) Validate() error {
 	}
 	if s.Churn != nil {
 		if err := s.Churn.Validate(); err != nil {
-			return err
+			return fmt.Errorf("churn: %w", err)
 		}
 	}
 	for i := range s.Outages {
@@ -227,7 +227,7 @@ func (s *Scenario) Validate() error {
 	}
 	if s.Staleness != nil {
 		if err := s.Staleness.Validate(); err != nil {
-			return err
+			return fmt.Errorf("staleness: %w", err)
 		}
 	}
 	return nil

@@ -1,0 +1,166 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// minDoc wraps an events/assert fragment into a parseable document.
+func minDoc(body string) []byte {
+	return []byte("name: t\n" + body)
+}
+
+func TestParseFullDocument(t *testing.T) {
+	src := []byte(`name: full
+description: exercises every section
+world:
+  seed: 5
+  hotspots: 30
+  videos: 500
+  slots: 4
+run:
+  scheme: rbcaer
+  churn: 0.1
+  fail_fast: true
+events:
+  - at: slot 1
+    action: regional_outage
+    x: 2
+    y: 3
+    radius_km: 1.5
+    for: 2
+  - action: churn
+    fail: 0.1
+    recover: 0.5
+stress:
+  seed: 42
+  outages:
+    count: 2
+    radius_km: [1, 2]
+    start: [0, 2]
+    duration: 1
+assert:
+  - StrandedRequests < 100
+  - fault.cause.outage > 0
+assert_slot:
+  - degraded == false
+  - expr: stranded < 50
+    from: 1
+    to: 3
+`)
+	doc, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Name != "full" || doc.World.Hotspots != 30 || doc.World.Slots != 4 {
+		t.Fatalf("doc header = %+v", doc)
+	}
+	if !doc.Spec.FailFast || doc.Spec.Churn != 0.1 {
+		t.Fatalf("run spec = %+v", doc.Spec)
+	}
+	if len(doc.Events) != 2 || doc.Events[0].Kind != EventOutage || doc.Events[0].At != 1 || doc.Events[0].Until != 3 {
+		t.Fatalf("events = %+v", doc.Events)
+	}
+	if doc.Stress == nil || !doc.Stress.SeedSet || doc.Stress.Seed != 42 || doc.Stress.Outages.Count != 2 {
+		t.Fatalf("stress = %+v", doc.Stress)
+	}
+	if len(doc.Asserts) != 2 || doc.Asserts[1].Ident != "fault.cause.outage" {
+		t.Fatalf("asserts = %+v", doc.Asserts)
+	}
+	if len(doc.SlotAsserts) != 2 {
+		t.Fatalf("slot asserts = %+v", doc.SlotAsserts)
+	}
+	if w := doc.SlotAsserts[1]; w.From != 1 || w.To != 3 || w.Ident != "stranded" {
+		t.Fatalf("windowed slot assert = %+v", w)
+	}
+	if !doc.SlotAsserts[0].IsBool || doc.SlotAsserts[0].BoolValue {
+		t.Fatalf("degraded assert = %+v", doc.SlotAsserts[0])
+	}
+}
+
+// TestParseErrors is the malformed-input table: every event family and
+// assertion form has at least one rejection case, and each error names
+// enough context to find the offending line.
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, body, want string
+	}{
+		{"unknown top key", "bogus: 1\n", `unknown key "bogus"`},
+		{"unknown world key", "world:\n  hotspot: 3\n", `unknown key "hotspot"`},
+		{"bad world int", "world:\n  hotspots: many\n", "not an integer"},
+		{"unknown scheme", "run:\n  scheme: dijkstra\n", `unknown run.scheme "dijkstra"`},
+		{"churn out of range", "run:\n  churn: 1.5\n", "outside [0, 1]"},
+		{"delta non-rbcaer", "run:\n  scheme: nearest\n  delta: true\n", "run.delta requires run.scheme rbcaer"},
+		{"threshold without delta", "run:\n  delta_threshold: 0.5\n", "needs run.delta"},
+		{"negative threshold", "run:\n  delta: true\n  delta_threshold: -1\n", "non-negative"},
+
+		{"event no action", "events:\n  - at: 1\n    for: 2\n", `missing "action"`},
+		{"event bad action", "events:\n  - action: meteor\n", "unknown action"},
+		{"events not seq", "events:\n  action: churn\n", "must be a sequence"},
+		{"outage no window", "events:\n  - action: regional_outage\n    radius_km: 1\n", `needs "for" (slots) or "until"`},
+		{"outage both windows", "events:\n  - action: regional_outage\n    radius_km: 1\n    for: 2\n    until: 3\n", `"for" or "until", not both`},
+		{"outage no radius", "events:\n  - action: regional_outage\n    for: 2\n", "radius_km >= 0"},
+		{"bad at", "events:\n  - action: regional_outage\n    radius_km: 1\n    at: noon\n    for: 2\n", "not a slot number"},
+		{"churn windowed", "events:\n  - action: churn\n    at: 3\n", "churn is whole-run"},
+		{"stale windowed", "events:\n  - action: stale_reports\n    at: 2\n", "stale_reports is whole-run"},
+		{"duplicate churn", "events:\n  - action: churn\n    fail: 0.1\n  - action: churn\n    fail: 0.2\n", "duplicate churn"},
+		{"duplicate stale", "events:\n  - action: stale_reports\n    lag: 1\n  - action: stale_reports\n    lag: 2\n", "duplicate stale_reports"},
+		{"event unknown key", "events:\n  - action: flash_crowd\n    top_videos: 2\n    multiplier: 3\n    for: 1\n    surprise: 1\n", `unknown key "surprise"`},
+		{"theta non-rbcaer", "run:\n  scheme: lp\nevents:\n  - action: theta\n    at: 2\n    theta1: 1\n", "theta requires run.scheme rbcaer"},
+		{"theta with delta", "run:\n  delta: true\nevents:\n  - action: theta\n    at: 2\n", "incompatible with delta"},
+		{"theta order", "events:\n  - action: theta\n    at: 4\n  - action: theta\n    at: 2\n", "strictly increasing"},
+		{"churn event and stress", "events:\n  - action: churn\n    fail: 0.1\nstress:\n  churn:\n    fail: 0.2\n", "keep one"},
+
+		{"assert not seq", "assert: StrandedRequests < 5\n", "must be a sequence"},
+		{"assert arity", "assert:\n  - StrandedRequests <\n", `must be "ident op value"`},
+		{"assert bad op", "assert:\n  - StrandedRequests ~ 5\n", "unknown operator"},
+		{"assert bad value", "assert:\n  - StrandedRequests < five\n", "not a number or bool"},
+		{"assert unknown ident", "assert:\n  - Strandedness < 5\n", "unknown run metric"},
+		{"assert run bool", "assert:\n  - StrandedRequests == true\n", "run-level assertions are numeric"},
+		{"slot unknown ident", "assert_slot:\n  - latency < 5\n", "unknown slot metric"},
+		{"slot bool ident", "assert_slot:\n  - stranded == true\n", `only "degraded" is boolean`},
+		{"bool ordering op", "assert_slot:\n  - degraded < true\n", "only == and !="},
+		{"slot window empty", "assert_slot:\n  - expr: stranded < 5\n    from: 3\n    to: 2\n", "bad slot window"},
+		{"slot missing expr", "assert_slot:\n  - from: 1\n    to: 2\n", `missing "expr"`},
+		{"stress unknown key", "stress:\n  quakes: 1\n", `unknown key "quakes"`},
+		{"stress bad fleet weight", "stress:\n  fleet:\n    - name: a\n      weight: 0\n", "weight must be positive"},
+		{"stress inverted range", "stress:\n  outages:\n    radius_km: [3, 1]\n", "hi < lo"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(minDoc(tc.body))
+			if err == nil {
+				t.Fatalf("Parse accepted malformed doc:\n%s", tc.body)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseMissingName(t *testing.T) {
+	_, err := Parse([]byte("world:\n  seed: 1\n"))
+	if err == nil || !strings.Contains(err.Error(), `missing required key "name"`) {
+		t.Fatalf("error = %v, want missing-name rejection", err)
+	}
+}
+
+func TestParseAtForms(t *testing.T) {
+	for _, at := range []string{"3", `"slot 3"`} {
+		src := minDoc("events:\n  - action: regional_outage\n    at: " + at + "\n    radius_km: 1\n    for: 2\n")
+		doc, err := Parse(src)
+		if err != nil {
+			t.Fatalf("at: %s: %v", at, err)
+		}
+		if doc.Events[0].At != 3 || doc.Events[0].Until != 5 {
+			t.Fatalf("at: %s: event = %+v", at, doc.Events[0])
+		}
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load("/nonexistent/scenario.yaml"); err == nil {
+		t.Fatal("Load of missing file succeeded")
+	}
+}

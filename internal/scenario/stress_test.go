@@ -1,0 +1,159 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/trace"
+)
+
+const stressDoc = `name: stress-det
+world:
+  seed: 3
+  hotspots: 40
+  videos: 600
+  users: 500
+  requests: 2000
+  slots: 6
+stress:
+  seed: 77
+  fleet:
+    - name: strong
+      weight: 1
+      service_frac: 0.05
+    - name: weak
+      weight: 2
+      service_frac: 0.01
+      cache_frac: 0.01
+  churn:
+    fail: [0.05, 0.2]
+    recover: [0.3, 0.8]
+  outages:
+    count: 3
+    radius_km: [1, 4]
+    start: [0, 4]
+    duration: [1, 2]
+  flash_crowds:
+    count: 2
+    top_videos: [2, 5]
+    multiplier: [3, 6]
+    start: [1, 3]
+    duration: 1
+  degradations:
+    count: 2
+    fraction: [0.2, 0.5]
+    service_factor: [0.3, 0.7]
+    start: [2, 4]
+    duration: [1, 3]
+  stale_reports:
+    lag: [1, 2]
+    drop_fraction: [0.1, 0.3]
+`
+
+func stressWorld(t *testing.T) *trace.World {
+	t.Helper()
+	cfg := trace.DefaultConfig()
+	cfg.Seed = 3
+	cfg.NumHotspots = 40
+	cfg.NumVideos = 600
+	cfg.NumUsers = 500
+	cfg.NumRequests = 2000
+	cfg.Slots = 6
+	world, _, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return world
+}
+
+// TestStressExpandDeterministic: equal (seed, world, slots) must expand
+// to byte-identical fault scenarios — the DSL's reproducibility
+// contract.
+func TestStressExpandDeterministic(t *testing.T) {
+	doc, err := Parse([]byte(stressDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	world := stressWorld(t)
+	expandOnce := func() (*fault.Scenario, int) {
+		sc := &fault.Scenario{Name: "x"}
+		n := doc.Stress.expand(sc, world, 6, doc.Stress.Seed)
+		return sc, n
+	}
+	a, na := expandOnce()
+	b, nb := expandOnce()
+	if na != nb || na != 3+2+2+1+1 {
+		t.Fatalf("generated counts differ or wrong: %d vs %d", na, nb)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("expansions differ:\n%+v\n%+v", a, b)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("expanded scenario invalid: %v", err)
+	}
+	if len(a.Outages) != 3 || len(a.FlashCrowds) != 2 || len(a.Degradations) != 2 {
+		t.Fatalf("family counts = %d/%d/%d", len(a.Outages), len(a.FlashCrowds), len(a.Degradations))
+	}
+	if a.Churn == nil || a.Staleness == nil {
+		t.Fatal("churn/staleness not generated")
+	}
+	for i, o := range a.Outages {
+		if !world.Bounds.Contains(o.Center) {
+			t.Fatalf("outage %d centre %v outside world bounds %v", i, o.Center, world.Bounds)
+		}
+		if o.EndSlot > 6 {
+			t.Fatalf("outage %d end %d exceeds slot count", i, o.EndSlot)
+		}
+	}
+}
+
+// TestStressSeedChangesExpansion: a different seed must actually move
+// the draws (guards against a stream accidentally ignoring the seed).
+func TestStressSeedChangesExpansion(t *testing.T) {
+	doc, err := Parse([]byte(stressDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	world := stressWorld(t)
+	a := &fault.Scenario{}
+	b := &fault.Scenario{}
+	doc.Stress.expand(a, world, 6, 77)
+	doc.Stress.expand(b, world, 6, 78)
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("different stress seeds produced identical expansions")
+	}
+}
+
+// TestApplyFleetDeterministic: fleet reshaping is one weighted draw per
+// hotspot in order — equal seeds must reshape identically, and weak
+// templates must actually appear.
+func TestApplyFleetDeterministic(t *testing.T) {
+	doc, err := Parse([]byte(stressDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := stressWorld(t)
+	w2 := stressWorld(t)
+	doc.Stress.applyFleet(w1, 77)
+	doc.Stress.applyFleet(w2, 77)
+	if !reflect.DeepEqual(w1.Hotspots, w2.Hotspots) {
+		t.Fatal("equal fleet seeds reshaped hotspots differently")
+	}
+	strong := int64(float64(w1.NumVideos)*0.05 + 0.5)
+	weak := int64(float64(w1.NumVideos)*0.01 + 0.5)
+	var sawStrong, sawWeak bool
+	for _, h := range w1.Hotspots {
+		switch h.ServiceCapacity {
+		case strong:
+			sawStrong = true
+		case weak:
+			sawWeak = true
+		default:
+			t.Fatalf("hotspot capacity %d matches no template (want %d or %d)", h.ServiceCapacity, strong, weak)
+		}
+	}
+	if !sawStrong || !sawWeak {
+		t.Fatalf("template mix degenerate: strong=%v weak=%v", sawStrong, sawWeak)
+	}
+}

@@ -1,0 +1,138 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseYAMLStructures(t *testing.T) {
+	src := []byte(`---
+# comment
+name: demo # trailing comment
+world:
+  seed: 7
+  hotspots: 60
+list:
+  - one
+  - two
+flow: [1, 2, 3]
+quoted: "a # not-comment: still"
+nested:
+  - key: value
+    extra: 2
+  - key: other
+`)
+	root, err := parseYAML(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.kind != mapNode {
+		t.Fatalf("root kind = %v, want mapping", root.kind)
+	}
+	if got := root.child("name"); got == nil || got.scalar != "demo" {
+		t.Fatalf("name = %+v, want scalar demo", got)
+	}
+	w := root.child("world")
+	if w == nil || w.kind != mapNode || w.child("seed").scalar != "7" {
+		t.Fatalf("world = %+v, want mapping with seed 7", w)
+	}
+	l := root.child("list")
+	if l == nil || l.kind != seqNode || len(l.items) != 2 || l.items[1].scalar != "two" {
+		t.Fatalf("list = %+v, want 2-item sequence", l)
+	}
+	f := root.child("flow")
+	if f == nil || f.kind != seqNode || len(f.items) != 3 || f.items[2].scalar != "3" {
+		t.Fatalf("flow = %+v, want 3-item sequence", f)
+	}
+	if got := root.child("quoted").scalar; got != "a # not-comment: still" {
+		t.Fatalf("quoted = %q", got)
+	}
+	n := root.child("nested")
+	if n == nil || n.kind != seqNode || len(n.items) != 2 {
+		t.Fatalf("nested = %+v, want 2-item sequence", n)
+	}
+	first := n.items[0]
+	if first.kind != mapNode || first.child("key").scalar != "value" || first.child("extra").scalar != "2" {
+		t.Fatalf("nested[0] = %+v, want mapping {key: value, extra: 2}", first)
+	}
+}
+
+func TestParseYAMLErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"tab indent", "a:\n\tb: 1\n", "tab"},
+		{"duplicate key", "a: 1\na: 2\n", "duplicate key"},
+		{"bad flow list", "a: [1, 2\n", "flow list"},
+		{"nested flow", "a: [[1], 2]\n", "flow list"},
+		{"scalar root", "just a scalar\n", "key: value"},
+		{"empty", "", "empty"},
+		{"seq root", "- a\n- b\n", "mapping"},
+		{"bad unquote", `a: "unterminated` + "\n", "quoted scalar"},
+		{"quoted key", `"a": 1` + "\n", "quoted key"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseYAML([]byte(tc.src))
+			if err == nil {
+				t.Fatalf("parseYAML(%q): no error, want %q", tc.src, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("parseYAML(%q) error = %v, want substring %q", tc.src, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseYAMLLineNumbers(t *testing.T) {
+	src := []byte("a: 1\n\n# comment\nb:\n  c: 2\n")
+	root, err := parseYAML(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := root.child("b").child("c").line; got != 5 {
+		t.Fatalf("b.c line = %d, want 5", got)
+	}
+}
+
+func TestDecoderUnknownKey(t *testing.T) {
+	root, err := parseYAML([]byte("known: 1\nmystery: 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := newDec(root, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.integer("known", 0); got != 1 {
+		t.Fatalf("known = %d, want 1", got)
+	}
+	err = d.finish()
+	if err == nil || !strings.Contains(err.Error(), "mystery") {
+		t.Fatalf("finish() = %v, want unknown-key error naming mystery", err)
+	}
+}
+
+func TestDecoderRanges(t *testing.T) {
+	root, err := parseYAML([]byte("pin: 0.5\nspan: [0.1, 0.9]\nints: [2, 5]\nbad: [3, 1]\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := newDec(root, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := d.floatRange("pin", Range{}); r.Lo != 0.5 || r.Hi != 0.5 {
+		t.Fatalf("pin = %+v, want degenerate [0.5, 0.5]", r)
+	}
+	if r := d.floatRange("span", Range{}); r.Lo != 0.1 || r.Hi != 0.9 {
+		t.Fatalf("span = %+v", r)
+	}
+	if r := d.intRange("ints", IntRange{}); r.Lo != 2 || r.Hi != 5 {
+		t.Fatalf("ints = %+v", r)
+	}
+	d.floatRange("bad", Range{})
+	if err := d.finish(); err == nil || !strings.Contains(err.Error(), "bad") {
+		t.Fatalf("finish() = %v, want inverted-range error", err)
+	}
+}

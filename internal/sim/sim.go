@@ -218,6 +218,14 @@ type SlotMetrics struct {
 	Replicas        int64
 	// HotspotServingRatio is ServedByHotspot / Requests for this slot.
 	HotspotServingRatio float64
+	// Infeasible counts this slot's hotspot targets bounced to the CDN.
+	Infeasible int64
+	// Stranded is the workload the policy knowingly abandoned to the
+	// CDN this slot (Assignment.StrandedDemand).
+	Stranded int64
+	// Degraded reports the slot's assignment was produced under
+	// degraded conditions (or the whole fleet was offline).
+	Degraded bool
 }
 
 // Options configure a simulation run.
@@ -264,6 +272,13 @@ type Options struct {
 	// harness compares these plans byte-for-byte against the ones it
 	// computed live (see internal/server).
 	PlanSink func(slot int, plan *core.Plan)
+	// SlotSink, when non-nil, receives each applied slot's metrics in
+	// slot order from the sequential epilogue — the hook scenario
+	// assertions evaluate on during the run. Returning a non-nil error
+	// aborts the run with that error (fail-fast scenarios). Like the
+	// tracer stream, the SlotMetrics sequence is identical for Run and
+	// RunParallel at any worker count.
+	SlotSink func(SlotMetrics) error
 }
 
 // Validate checks the options.
@@ -484,6 +499,14 @@ func compileFaults(world *trace.World, tr *trace.Trace, opts Options) (*trace.Tr
 	if err != nil {
 		return nil, nil, 0, fmt.Errorf("sim: %w", err)
 	}
+	// Per-family fault counters are a pure function of the compiled
+	// timeline, published once per run: fault.cause.churn/outage/
+	// degradation/stale_drops from the timeline, fault.cause.flash for
+	// the trace-level injection. Deterministic for any worker count.
+	if opts.Registry != nil {
+		tl.Publish(opts.Registry)
+		opts.Registry.Counter("fault.cause.flash").Add(injected)
+	}
 	return tr, tl, injected, nil
 }
 
@@ -666,12 +689,21 @@ func applySlot(world *trace.World, opts Options, metrics *Metrics, w *slotWork, 
 		metrics.ServedByCDN += int64(len(requests))
 		metrics.TotalRequests += int64(len(requests))
 		*distanceSum += world.CDNDistanceKm * float64(len(requests))
-		if opts.KeepSlotMetrics {
-			metrics.PerSlot = append(metrics.PerSlot, SlotMetrics{
+		if opts.KeepSlotMetrics || opts.SlotSink != nil {
+			sm := SlotMetrics{
 				Slot:        slot,
 				Requests:    int64(len(requests)),
 				ServedByCDN: int64(len(requests)),
-			})
+				Degraded:    true,
+			}
+			if opts.KeepSlotMetrics {
+				metrics.PerSlot = append(metrics.PerSlot, sm)
+			}
+			if opts.SlotSink != nil {
+				if err := opts.SlotSink(sm); err != nil {
+					return fmt.Errorf("sim: slot %d: %w", slot, err)
+				}
+			}
 		}
 		opts.Tracer.Emit(obs.Event{Type: "slot", Slot: slot, Attrs: []obs.Attr{
 			obs.I("requests", int64(len(requests))),
@@ -696,6 +728,7 @@ func applySlot(world *trace.World, opts Options, metrics *Metrics, w *slotWork, 
 	slotServedBefore := metrics.ServedByHotspot
 	slotCDNBefore := metrics.ServedByCDN
 	slotReplicasBefore := metrics.Replicas
+	slotInfeasibleBefore := metrics.Infeasible
 
 	// Replication accounting: only newly placed videos cost a push.
 	// Placements are bounded by the slot's effective (possibly
@@ -785,18 +818,28 @@ func applySlot(world *trace.World, opts Options, metrics *Metrics, w *slotWork, 
 		}})
 	}
 
-	if opts.KeepSlotMetrics {
+	if opts.KeepSlotMetrics || opts.SlotSink != nil {
 		sm := SlotMetrics{
 			Slot:            slot,
 			Requests:        int64(len(requests)),
 			ServedByHotspot: metrics.ServedByHotspot - slotServedBefore,
 			ServedByCDN:     metrics.ServedByCDN - slotCDNBefore,
 			Replicas:        metrics.Replicas - slotReplicasBefore,
+			Infeasible:      metrics.Infeasible - slotInfeasibleBefore,
+			Stranded:        asg.StrandedDemand,
+			Degraded:        asg.Degraded,
 		}
 		if sm.Requests > 0 {
 			sm.HotspotServingRatio = float64(sm.ServedByHotspot) / float64(sm.Requests)
 		}
-		metrics.PerSlot = append(metrics.PerSlot, sm)
+		if opts.KeepSlotMetrics {
+			metrics.PerSlot = append(metrics.PerSlot, sm)
+		}
+		if opts.SlotSink != nil {
+			if err := opts.SlotSink(sm); err != nil {
+				return fmt.Errorf("sim: slot %d: %w", slot, err)
+			}
+		}
 	}
 	return nil
 }

@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/similarity"
+	"repro/internal/trace"
+)
+
+// sinkWorldTrace generates a small world/trace pair with the given slot
+// count for the sink tests.
+func sinkWorldTrace(t *testing.T, slots int) (*trace.World, *trace.Trace) {
+	t.Helper()
+	cfg := trace.DefaultConfig()
+	cfg.NumHotspots = 20
+	cfg.NumVideos = 300
+	cfg.NumUsers = 200
+	cfg.NumRequests = 1500
+	cfg.NumRegions = 4
+	cfg.Slots = slots
+	world, tr, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return world, tr
+}
+
+// cdnOnly sends every request to the CDN — the simplest slot-independent
+// policy, adequate for exercising the sink plumbing.
+type cdnOnly struct{}
+
+func (cdnOnly) Name() string { return "cdn-only" }
+
+func (cdnOnly) Schedule(ctx *SlotContext) (*Assignment, error) {
+	target := make([]int, len(ctx.Requests))
+	for i := range target {
+		target[i] = CDN
+	}
+	placement := make([]similarity.Set, len(ctx.World.Hotspots))
+	for h := range placement {
+		placement[h] = similarity.NewSet()
+	}
+	return &Assignment{Placement: placement, Target: target}, nil
+}
+
+// TestSlotSinkReceivesSlotsInOrder: the sink sees every applied slot's
+// metrics in slot order, matching PerSlot, regardless of worker count.
+func TestSlotSinkReceivesSlotsInOrder(t *testing.T) {
+	world, tr := sinkWorldTrace(t, 4)
+	var sunk []SlotMetrics
+	opts := Options{
+		Seed:            1,
+		KeepSlotMetrics: true,
+		SlotSink: func(sm SlotMetrics) error {
+			sunk = append(sunk, sm)
+			return nil
+		},
+	}
+	m, err := Run(world, tr, cdnOnly{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sunk) != tr.Slots {
+		t.Fatalf("sink saw %d slots, want %d", len(sunk), tr.Slots)
+	}
+	for i, sm := range sunk {
+		if sm.Slot != i {
+			t.Fatalf("sink slot %d arrived at position %d", sm.Slot, i)
+		}
+	}
+	if !reflect.DeepEqual(sunk, m.PerSlot) {
+		t.Fatalf("sink stream differs from PerSlot:\n%+v\n%+v", sunk, m.PerSlot)
+	}
+
+	// The parallel path must deliver the identical stream.
+	var sunkPar []SlotMetrics
+	optsPar := opts
+	optsPar.SlotSink = func(sm SlotMetrics) error {
+		sunkPar = append(sunkPar, sm)
+		return nil
+	}
+	if _, err := RunParallel(world, tr, func() Scheduler { return cdnOnly{} }, 4, optsPar); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sunk, sunkPar) {
+		t.Fatal("sink stream differs between Run and RunParallel")
+	}
+}
+
+// TestSlotSinkWithoutKeepSlotMetrics: the sink alone must not switch on
+// PerSlot retention.
+func TestSlotSinkWithoutKeepSlotMetrics(t *testing.T) {
+	world, tr := sinkWorldTrace(t, 3)
+	seen := 0
+	opts := Options{
+		Seed:     1,
+		SlotSink: func(SlotMetrics) error { seen++; return nil },
+	}
+	m, err := Run(world, tr, cdnOnly{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != tr.Slots {
+		t.Fatalf("sink saw %d slots, want %d", seen, tr.Slots)
+	}
+	if m.PerSlot != nil {
+		t.Fatalf("PerSlot retained without KeepSlotMetrics: %d entries", len(m.PerSlot))
+	}
+}
+
+// TestSlotSinkAbortsRun: a sink error stops the run and surfaces with
+// slot context, preserving the error chain for errors.Is.
+func TestSlotSinkAbortsRun(t *testing.T) {
+	world, tr := sinkWorldTrace(t, 4)
+	sentinel := errors.New("enough")
+	calls := 0
+	opts := Options{
+		Seed: 1,
+		SlotSink: func(sm SlotMetrics) error {
+			calls++
+			if sm.Slot == 1 {
+				return fmt.Errorf("stop: %w", sentinel)
+			}
+			return nil
+		},
+	}
+	_, err := Run(world, tr, cdnOnly{}, opts)
+	if err == nil {
+		t.Fatal("sink error did not abort the run")
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error chain lost the sentinel: %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("sink called %d times, want 2 (slots 0 and 1)", calls)
+	}
+}
