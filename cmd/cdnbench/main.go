@@ -1,6 +1,6 @@
 // Command cdnbench runs the repository's headline performance
 // benchmarks programmatically and records the results as a JSON
-// artifact (BENCH_6.json by default) so CI can track ns/op, B/op, and
+// artifact (BENCH_7.json by default) so CI can track ns/op, B/op, and
 // allocs/op regressions across commits. The workload is fixed-seed and
 // matches the root bench_test.go configuration, so numbers are
 // comparable with `go test -bench=BenchmarkSchedule -benchmem .`. The
@@ -29,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mcmf"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/similarity"
 	"repro/internal/stats"
@@ -175,6 +176,25 @@ func benchmarks(quick bool) ([]namedBench, error) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := deltaSched.Schedule(deltaDemands[1+i%(len(deltaDemands)-1)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	})
+
+	// Sharded round: grid-partitioned shards solved concurrently over
+	// a bounded pool, then boundary reconciliation. Same demand as the
+	// global Schedule benches, so the two are directly comparable.
+	shardSched, err := shard.New(world, shard.Params{CellKm: 4, Workers: 4})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, namedBench{
+		name: "ScheduleSharded",
+		fn: func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := shardSched.Schedule(demand); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -349,7 +369,7 @@ func writeResults(path string, results []benchResult) error {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_6.json", "path of the JSON benchmark artifact")
+	out := flag.String("out", "BENCH_7.json", "path of the JSON benchmark artifact")
 	quick := flag.Bool("quick", false, "shrink the schedule workload for smoke runs")
 	only := flag.String("run", "", "run only benchmarks whose name contains this substring")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")

@@ -72,6 +72,7 @@ func TestBenchmarkSuiteShape(t *testing.T) {
 		"Schedule/workers=4",
 		"Schedule/workers=8",
 		"ScheduleDelta",
+		"ScheduleSharded",
 		"JaccardSet",
 		"JaccardBitset",
 		"MCMFSolveReuse",

@@ -8,7 +8,8 @@
 // With no arguments every paper experiment runs in order. Experiments:
 //
 //	paper:      fig2 fig3a fig3b fig5 fig6 fig7 fig8 fig9 (or "all")
-//	extensions: ext-hier ext-churn ext-reactive resilience (or "ext")
+//	extensions: ext-hier ext-churn ext-reactive ext-shard resilience
+//	            (or "ext")
 //	ablations:  abl-guides abl-theta abl-prediction abl-mcmf abl-cluster
 //	            abl-workers
 //	everything: "everything"

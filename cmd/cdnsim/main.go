@@ -59,6 +59,8 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "simulation (and generation) seed")
 	workers := fs.Int("workers", 0, "scheduling parallelism (0 = all cores, 1 = serial; results identical)")
 	churn := fs.Float64("churn", 0, "per-slot probability a hotspot is offline")
+	shards := fs.Int("shards", 0, "rbcaer only: cluster-partition the world into N shards scheduled concurrently")
+	shardCellKm := fs.Float64("shard-cell-km", 0, "rbcaer only: grid-partition the world into shards of this cell size in km")
 	delta := fs.Bool("delta", false, "rbcaer only: incremental delta scheduling (slots run sequentially, plans unchanged)")
 	deltaVerify := fs.Bool("delta-verify", false, "with -delta: shadow-run the full solver each delta round and compare digests")
 	deltaEvery := fs.Int("delta-every", 16, "with -delta: force a full re-solve every N slots (0 = never)")
@@ -101,6 +103,13 @@ func run(args []string) error {
 	}
 	overrideCapacities(world, *capFrac, *cacheFrac)
 
+	if *shards < 0 || *shardCellKm < 0 {
+		return fmt.Errorf("-shards and -shard-cell-km must be non-negative (got %d, %v)", *shards, *shardCellKm)
+	}
+	if (*shards > 0 || *shardCellKm > 0) && *schemeName != "rbcaer" {
+		return fmt.Errorf("-shards/-shard-cell-km require -scheme rbcaer (got %q)", *schemeName)
+	}
+
 	// slotIndependent marks policies that carry no state between slots,
 	// so their timeslots may be scheduled concurrently (one policy
 	// instance per worker) without changing the metrics.
@@ -113,10 +122,24 @@ func run(args []string) error {
 			params = crowdcdn.DeltaParams(*deltaEvery)
 			params.DeltaVerify = *deltaVerify
 		}
-		params.Workers = *workers
 		params.Obs = reg
 		params.RecordEvents = tracer != nil
-		newPolicy = func() crowdcdn.Scheduler { return crowdcdn.NewRBCAer(params) }
+		if *shards > 0 || *shardCellKm > 0 {
+			// Sharded mode: shard-level concurrency replaces
+			// intra-round fan-out, so the per-shard solvers run serial.
+			params.Workers = 1
+			sp := crowdcdn.ShardParams{
+				Shards:  *shards,
+				CellKm:  *shardCellKm,
+				Local:   params,
+				Workers: *workers,
+				Obs:     reg,
+			}
+			newPolicy = func() crowdcdn.Scheduler { return crowdcdn.NewSharded(sp) }
+		} else {
+			params.Workers = *workers
+			newPolicy = func() crowdcdn.Scheduler { return crowdcdn.NewRBCAer(params) }
+		}
 		// Delta mode carries warm-start state from slot to slot, so its
 		// slots must be scheduled in order on one policy instance.
 		slotIndependent = !*delta

@@ -130,6 +130,28 @@ func TestRunErrors(t *testing.T) {
 	if err := run([]string{"-churn", "2", "-world", worldPath, "-trace", tracePath}); err == nil {
 		t.Error("invalid churn accepted")
 	}
+	if err := run([]string{"-scheme", "nearest", "-shards", "3", "-world", worldPath, "-trace", tracePath}); err == nil {
+		t.Error("sharding with non-rbcaer scheme accepted")
+	}
+	if err := run([]string{"-shards", "-2", "-world", worldPath, "-trace", tracePath}); err == nil {
+		t.Error("negative shard count accepted")
+	}
+	if err := run([]string{"-shards", "2", "-shard-cell-km", "3", "-world", worldPath, "-trace", tracePath}); err == nil {
+		t.Error("shards and shard-cell-km together accepted")
+	}
+}
+
+func TestRunSharded(t *testing.T) {
+	worldPath, tracePath := writeTinyWorld(t)
+	for _, args := range [][]string{
+		{"-shard-cell-km", "4"},
+		{"-shards", "3", "-delta"},
+	} {
+		err := run(append([]string{"-world", worldPath, "-trace", tracePath, "-scheme", "rbcaer", "-json"}, args...))
+		if err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
 }
 
 // writeScenario persists a scenario document for the -scenario path.

@@ -42,6 +42,7 @@ import (
 	"repro/internal/scheme"
 	"repro/internal/server"
 	"repro/internal/server/loadgen"
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -283,6 +284,23 @@ func NewFactoredPredicted(inner Scheduler) Scheduler {
 // RBCAer across region-level virtual hotspots, then within each region.
 // cellKm is the region grid size (0 selects 3 km).
 func NewHierarchical(cellKm float64) Scheduler { return region.NewPolicy(cellKm) }
+
+// ShardParams configure the sharded regional scheduler: geo-partition
+// the world, run one RBCAer round per shard concurrently, then
+// reconcile residual overload across shard boundaries. See DESIGN.md
+// §14.
+type ShardParams = shard.Params
+
+// NewSharded returns the sharded regional scheduling policy. Merged
+// plans are byte-identical for any ShardParams.Workers value, and
+// identical to the plain RBCAer when the partition has one shard.
+func NewSharded(p ShardParams) Scheduler { return shard.NewPolicy(p) }
+
+// NewShardScheduler returns the low-level sharded scheduler for
+// driving rounds manually, mirroring NewRBCAScheduler.
+func NewShardScheduler(world *World, p ShardParams) (*shard.Scheduler, error) {
+	return shard.New(world, p)
+}
 
 // NewPowerOfTwo returns the power-of-two-choices baseline (related work
 // [20]): Random's caching with each request picking the less-loaded of

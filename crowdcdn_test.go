@@ -96,6 +96,19 @@ func TestPublicAPILowLevelScheduler(t *testing.T) {
 	if len(plan.Placement) != len(world.Hotspots) {
 		t.Errorf("placement covers %d hotspots, want %d", len(plan.Placement), len(world.Hotspots))
 	}
+
+	// The sharded low-level scheduler accepts the same demand.
+	shardSched, err := NewShardScheduler(world, ShardParams{CellKm: 4})
+	if err != nil {
+		t.Fatalf("NewShardScheduler: %v", err)
+	}
+	splan, err := shardSched.Schedule(demand)
+	if err != nil {
+		t.Fatalf("sharded Schedule: %v", err)
+	}
+	if len(splan.Placement) != len(world.Hotspots) {
+		t.Errorf("sharded placement covers %d hotspots, want %d", len(splan.Placement), len(world.Hotspots))
+	}
 }
 
 func TestPublicAPIFileRoundTrip(t *testing.T) {
@@ -200,6 +213,7 @@ func TestPublicAPIExtensions(t *testing.T) {
 	}
 	policies := []Scheduler{
 		NewHierarchical(3.0),
+		NewSharded(ShardParams{CellKm: 4}),
 		NewPowerOfTwo(1.5),
 		NewReactiveLRU(),
 		NewReactiveLFU(),

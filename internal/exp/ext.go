@@ -6,9 +6,11 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mcmf"
+	"repro/internal/obs"
 	"repro/internal/predict"
 	"repro/internal/region"
 	"repro/internal/scheme"
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -21,7 +23,7 @@ import (
 // failure scenarios (internal/fault), and the DESIGN.md ablations.
 func ExtensionExperiments() []string {
 	return []string{
-		"ext-hier", "ext-churn", "ext-reactive", "resilience",
+		"ext-hier", "ext-churn", "ext-reactive", "ext-shard", "resilience",
 		"abl-guides", "abl-theta", "abl-prediction", "abl-mcmf", "abl-cluster",
 		"abl-workers",
 	}
@@ -38,6 +40,9 @@ func (r *Runner) runExtension(id string) ([]*Figure, error) {
 		return wrap(f, err)
 	case "ext-reactive":
 		f, err := r.ExtReactive()
+		return wrap(f, err)
+	case "ext-shard":
+		f, err := r.ExtShard()
 		return wrap(f, err)
 	case "resilience":
 		return r.Resilience()
@@ -220,6 +225,67 @@ func (r *Runner) ExtReactive() (*Figure, error) {
 			m.Scheme, m.HotspotServingRatio, m.ReplicationCost, m.CDNServerLoad)
 	}
 	fig.Note("metric axis: 0 = hotspot serving ratio, 1 = replication cost, 2 = CDN server load")
+	return fig, nil
+}
+
+// ExtShard sweeps the shard size of the sharded scheduler (DESIGN.md
+// §14) over the evaluation workload, measuring the communication-cost
+// vs load-balancing tradeoff: smaller cells mean more shards and more
+// intra-shard parallelism, but more residual overload must cross shard
+// boundaries in the reconciliation pass (the explicit communication
+// cost), and boundary moves are coarser than a global round's.
+func (r *Runner) ExtShard() (*Figure, error) {
+	world, tr, err := r.evalData()
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "ext-shard",
+		Title:  "Sharded RBCAer: shard size vs boundary communication and balance",
+		XLabel: "shards",
+		YLabel: "value",
+	}
+	// Cell sizes from "one shard" (cell covers the whole region) down
+	// to fine-grained sharding. Duplicate shard counts (tiny scaled
+	// worlds collapse several sizes onto one grid) are skipped.
+	cells := []float64{1000, 8, 6, 4, 3, 2}
+	seen := make(map[int]bool)
+	var xs, boundary, serving, distance, schedT []float64
+	for _, cell := range cells {
+		part, err := region.GridPartition(world, cell)
+		if err != nil {
+			return nil, fmt.Errorf("exp: ext-shard partition at %.1fkm: %w", cell, err)
+		}
+		n := part.NumRegions()
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		// A fresh registry per configuration isolates the boundary
+		// counters; the runner's shared registry still receives the
+		// slot-level sim counters via simOpts.
+		reg := obs.NewRegistry()
+		m, err := sim.Run(world, tr, shard.NewPolicy(shard.Params{
+			CellKm:  cell,
+			Workers: r.Workers,
+			Obs:     reg,
+		}), r.simOpts())
+		if err != nil {
+			return nil, fmt.Errorf("exp: ext-shard at %.1fkm (%d shards): %w", cell, n, err)
+		}
+		moved := reg.Counter("shard.boundary.moved_flow").Value()
+		xs = append(xs, float64(n))
+		boundary = append(boundary, float64(moved))
+		serving = append(serving, m.HotspotServingRatio)
+		distance = append(distance, m.AvgAccessDistanceKm)
+		schedT = append(schedT, m.SchedulingTime.Seconds())
+		fig.Note("%d shards (cell %.0fkm): boundary flow %d, serving %.3f, distance %.2fkm, scheduling %v",
+			n, cell, moved, m.HotspotServingRatio, m.AvgAccessDistanceKm, m.SchedulingTime)
+	}
+	fig.AddSeries("boundary-flow", xs, boundary)
+	fig.AddSeries("serving-ratio", xs, serving)
+	fig.AddSeries("avg-distance(km)", xs, distance)
+	fig.AddSeries("scheduling-time(s)", xs, schedT)
 	return fig, nil
 }
 

@@ -74,6 +74,34 @@ func TestExtChurnMonotone(t *testing.T) {
 	}
 }
 
+func TestExtShardSweep(t *testing.T) {
+	r := NewRunner(1, 0.05)
+	fig, err := r.ExtShard()
+	if err != nil {
+		t.Fatalf("ExtShard: %v", err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("got %d series, want 4", len(fig.Series))
+	}
+	n := len(fig.Series[0].X)
+	if n < 2 {
+		t.Fatalf("sweep has %d shard counts, want at least the 1-shard and a multi-shard point", n)
+	}
+	for _, s := range fig.Series {
+		if len(s.X) != n || len(s.Y) != n {
+			t.Fatalf("%s has %d/%d points, want %d", s.Name, len(s.X), len(s.Y), n)
+		}
+	}
+	// The coarsest cell yields a single shard, where no redirect can
+	// cross a boundary: the communication cost must be exactly zero.
+	if fig.Series[0].Name != "boundary-flow" {
+		t.Fatalf("series[0] = %q, want boundary-flow", fig.Series[0].Name)
+	}
+	if fig.Series[0].X[0] != 1 || fig.Series[0].Y[0] != 0 {
+		t.Errorf("1-shard point = (%v, %v), want (1, 0)", fig.Series[0].X[0], fig.Series[0].Y[0])
+	}
+}
+
 func TestResilience(t *testing.T) {
 	r := NewRunner(1, 0.05)
 	figs, err := r.Resilience()

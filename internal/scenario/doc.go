@@ -76,6 +76,13 @@ type RunSpec struct {
 	// FailFast aborts the run at the first violated slot assertion
 	// instead of collecting every violation.
 	FailFast bool
+	// Shards cluster-partitions the world into this many shards and
+	// schedules them concurrently with boundary reconciliation
+	// (rbcaer only). Mutually exclusive with ShardCellKm.
+	Shards int
+	// ShardCellKm grid-partitions the world into shards of this cell
+	// size in km (rbcaer only). Mutually exclusive with Shards.
+	ShardCellKm float64
 }
 
 // EventKind discriminates timed scenario events.
@@ -248,6 +255,8 @@ func (doc *Doc) decodeRun(n *node) error {
 		CapacityFrac:   d.float("capacity_frac", 0),
 		CacheFrac:      d.float("cache_frac", 0),
 		FailFast:       d.boolean("fail_fast", false),
+		Shards:         d.integer("shards", 0),
+		ShardCellKm:    d.float("shard_cell_km", 0),
 	}
 	return d.finish()
 }
@@ -442,6 +451,19 @@ func (doc *Doc) validate() error {
 	if doc.Spec.Churn < 0 || doc.Spec.Churn > 1 {
 		return fmt.Errorf("scenario: run.churn %v outside [0, 1]", doc.Spec.Churn)
 	}
+	if doc.Spec.Shards < 0 {
+		return fmt.Errorf("scenario: run.shards %d negative", doc.Spec.Shards)
+	}
+	if doc.Spec.ShardCellKm < 0 {
+		return fmt.Errorf("scenario: run.shard_cell_km %v negative", doc.Spec.ShardCellKm)
+	}
+	if doc.Spec.Shards > 0 && doc.Spec.ShardCellKm > 0 {
+		return fmt.Errorf("scenario: run.shards and run.shard_cell_km are mutually exclusive")
+	}
+	if (doc.Spec.Shards > 0 || doc.Spec.ShardCellKm > 0) &&
+		doc.Spec.Scheme != "" && doc.Spec.Scheme != "rbcaer" {
+		return fmt.Errorf("scenario: sharding requires run.scheme rbcaer, got %q", doc.Spec.Scheme)
+	}
 	var churnEvents, staleEvents int
 	thetaAt := -1
 	for i, ev := range doc.Events {
@@ -462,6 +484,9 @@ func (doc *Doc) validate() error {
 			}
 			if doc.Spec.Delta {
 				return fmt.Errorf("scenario: events[%d]: theta events are incompatible with delta mode (delta rounds reuse state across the θ regime change)", i)
+			}
+			if doc.Spec.Shards > 0 || doc.Spec.ShardCellKm > 0 {
+				return fmt.Errorf("scenario: events[%d]: theta events are incompatible with sharded scheduling", i)
 			}
 			if ev.At <= thetaAt {
 				return fmt.Errorf("scenario: events[%d]: theta events must have strictly increasing \"at\" slots", i)

@@ -13,6 +13,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/region"
 	"repro/internal/scheme"
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -351,8 +352,22 @@ func (doc *Doc) policy(reg *obs.Registry, workers int) (func() sim.Scheduler, bo
 			params.FullSolveEvery = doc.Spec.DeltaEvery
 			params.DeltaVerify = doc.Spec.DeltaVerify
 		}
-		params.Workers = workers
 		params.Obs = reg
+		if doc.Spec.Shards > 0 || doc.Spec.ShardCellKm > 0 {
+			// Sharded mode: shard-level concurrency replaces
+			// intra-round fan-out (theta events are rejected by
+			// validate, so thetas is empty here).
+			params.Workers = 1
+			sp := shard.Params{
+				Shards:  doc.Spec.Shards,
+				CellKm:  doc.Spec.ShardCellKm,
+				Local:   params,
+				Workers: workers,
+				Obs:     reg,
+			}
+			return func() sim.Scheduler { return shard.NewPolicy(sp) }, !doc.Spec.Delta, nil
+		}
+		params.Workers = workers
 		if len(thetas) == 0 {
 			return func() sim.Scheduler { return scheme.NewRBCAer(params) }, !doc.Spec.Delta, nil
 		}

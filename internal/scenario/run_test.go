@@ -30,6 +30,58 @@ assert_slot:
   - stranded >= 0
 `
 
+// tinyShardedRun drives the sharded scheduling path (run.shard_cell_km)
+// through a fault window.
+const tinyShardedRun = `name: tiny-sharded
+world:
+  seed: 9
+  hotspots: 25
+  videos: 400
+  users: 300
+  requests: 1200
+  slots: 4
+run:
+  scheme: rbcaer
+  shard_cell_km: 5
+events:
+  - at: 1
+    action: regional_outage
+    x: 5
+    y: 5
+    radius_km: 2
+    for: 2
+assert:
+  - TotalRequests == 1200
+  - shard.rounds > 0
+  - shard.boundary.moved_flow >= 0
+assert_slot:
+  - stranded >= 0
+`
+
+// TestExecuteShardedDeterministic mirrors the headline determinism
+// contract for the sharded path: byte-identical reports at Workers 1
+// and 4 (shard pools and slot pools both scale with Workers).
+func TestExecuteShardedDeterministic(t *testing.T) {
+	texts := make([]string, 2)
+	for i, workers := range []int{1, 4} {
+		doc, err := Parse([]byte(tinyShardedRun))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := doc.Execute(ExecOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !rep.Pass {
+			t.Fatalf("workers=%d: report failed:\n%s", workers, rep.Text())
+		}
+		texts[i] = rep.Text()
+	}
+	if texts[0] != texts[1] {
+		t.Fatalf("sharded reports differ between Workers 1 and 4:\n--- w1:\n%s\n--- w4:\n%s", texts[0], texts[1])
+	}
+}
+
 // TestExecuteReportDeterministic certifies the DSL's headline contract:
 // the same file produces byte-identical reports at Workers 1 and 4
 // (run under -race in CI).

@@ -1,0 +1,463 @@
+package shard
+
+import (
+	"bytes"
+	"math/rand"
+	"slices"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/geo"
+	"repro/internal/obs"
+	"repro/internal/obs/invariant"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func genWorld(t *testing.T, hotspots, videos, users, requests, slots int) (*trace.World, *trace.Trace) {
+	t.Helper()
+	cfg := trace.DefaultConfig()
+	cfg.NumHotspots = hotspots
+	cfg.NumVideos = videos
+	cfg.NumUsers = users
+	cfg.NumRequests = requests
+	cfg.Slots = slots
+	world, tr, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return world, tr
+}
+
+// slotDemands builds one core.Demand per trace slot.
+func slotDemands(t *testing.T, world *trace.World, tr *trace.Trace) []*core.Demand {
+	t.Helper()
+	index, err := world.Index()
+	if err != nil {
+		t.Fatalf("Index: %v", err)
+	}
+	bySlot := tr.BySlot()
+	out := make([]*core.Demand, len(bySlot))
+	for s, reqs := range bySlot {
+		ctx, err := sim.BuildSlotContext(world, index, s, reqs, stats.SplitRand(1, "shard-test"))
+		if err != nil {
+			t.Fatalf("BuildSlotContext slot %d: %v", s, err)
+		}
+		out[s] = ctx.Demand
+	}
+	return out
+}
+
+func localParams() core.Params {
+	p := core.DefaultParams()
+	p.Workers = 1
+	return p
+}
+
+// TestShardedMatchesGlobalSingleShard proves the differential anchor:
+// with a single shard covering the whole world, the sharded round is
+// digest- and byte-identical to a plain global core.ScheduleRound.
+func TestShardedMatchesGlobalSingleShard(t *testing.T) {
+	world, tr := genWorld(t, 50, 1500, 3000, 9000, 4)
+	demands := slotDemands(t, world, tr)
+
+	global, err := core.New(world, localParams())
+	if err != nil {
+		t.Fatalf("core.New: %v", err)
+	}
+	// A grid cell larger than the world collapses to one shard.
+	sharded, err := New(world, Params{CellKm: 1000})
+	if err != nil {
+		t.Fatalf("shard.New: %v", err)
+	}
+	if sharded.NumShards() != 1 {
+		t.Fatalf("expected 1 shard, got %d", sharded.NumShards())
+	}
+
+	for s, d := range demands {
+		gp, err := global.ScheduleRound(d, core.Constraints{})
+		if err != nil {
+			t.Fatalf("slot %d global: %v", s, err)
+		}
+		sp, err := sharded.ScheduleRound(d, core.Constraints{})
+		if err != nil {
+			t.Fatalf("slot %d sharded: %v", s, err)
+		}
+		if gp.Digest() != sp.Digest() {
+			t.Fatalf("slot %d: digest mismatch: global %x sharded %x", s, gp.Digest(), sp.Digest())
+		}
+		if !bytes.Equal(gp.Canonical(), sp.Canonical()) {
+			t.Fatalf("slot %d: canonical bytes differ", s)
+		}
+		// The single-shard ledger must match the global one exactly.
+		g, h := gp.Stats, sp.Stats
+		if g.MaxFlow != h.MaxFlow || g.MovedFlow != h.MovedFlow ||
+			g.UnrealizedFlow != h.UnrealizedFlow || g.StrandedToCDN != h.StrandedToCDN ||
+			g.Replicas != h.Replicas {
+			t.Fatalf("slot %d: ledger mismatch: global %+v sharded %+v", s, g, h)
+		}
+		if diff := g.Omega1Km - h.Omega1Km; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("slot %d: omega mismatch: %v vs %v", s, g.Omega1Km, h.Omega1Km)
+		}
+	}
+}
+
+// TestShardedDeterministicAcrossWorkers proves k-shard merged plans are
+// byte-identical for any shard-pool worker count, and every merged plan
+// passes the invariant checker.
+func TestShardedDeterministicAcrossWorkers(t *testing.T) {
+	world, tr := genWorld(t, 60, 1500, 3000, 9000, 4)
+	demands := slotDemands(t, world, tr)
+
+	var ref [][]byte
+	for _, workers := range []int{1, 4, 8} {
+		s, err := New(world, Params{CellKm: 4, Workers: workers})
+		if err != nil {
+			t.Fatalf("New(workers=%d): %v", workers, err)
+		}
+		if s.NumShards() < 2 {
+			t.Fatalf("expected a multi-shard partition, got %d", s.NumShards())
+		}
+		for slot, d := range demands {
+			plan, err := s.ScheduleRound(d, core.Constraints{})
+			if err != nil {
+				t.Fatalf("workers=%d slot %d: %v", workers, slot, err)
+			}
+			if workers == 1 {
+				ref = append(ref, plan.Canonical())
+				if err := invariant.CheckPlan(world, d, core.Constraints{}, plan); err != nil {
+					t.Fatalf("slot %d: merged plan violates invariants: %v", slot, err)
+				}
+				continue
+			}
+			if !bytes.Equal(plan.Canonical(), ref[slot]) {
+				t.Fatalf("workers=%d slot %d: plan bytes differ from workers=1", workers, slot)
+			}
+		}
+	}
+}
+
+// faultScenario is the rotating fault timeline the determinism tests
+// run under: churn plus an outage window plus a capacity degradation.
+func faultScenario() *fault.Scenario {
+	return &fault.Scenario{
+		Name:  "shard-rotating",
+		Churn: &fault.MarkovChurn{FailPerSlot: 0.15, RecoverPerSlot: 0.5},
+		Outages: []fault.RegionalOutage{
+			{Center: geo.Point{X: 8, Y: 5}, RadiusKm: 3, StartSlot: 1, EndSlot: 3},
+		},
+		Degradations: []fault.CapacityDegradation{
+			{StartSlot: 2, EndSlot: 4, Fraction: 0.4, ServiceFactor: 0.5, CacheFactor: 0.7},
+		},
+	}
+}
+
+// TestShardedDeterministicUnderFaults drives the sharded policy through
+// the simulator under a rotating fault timeline and requires per-slot
+// plans byte-identical across sim worker counts and shard worker
+// counts. Run under -race this also certifies the concurrent fan-out.
+func TestShardedDeterministicUnderFaults(t *testing.T) {
+	world, tr := genWorld(t, 60, 1500, 3000, 9000, 4)
+
+	collect := func(simWorkers, shardWorkers int) map[int][]byte {
+		var mu sync.Mutex
+		plans := make(map[int][]byte)
+		opts := sim.Options{
+			Seed:   7,
+			Faults: faultScenario(),
+			PlanSink: func(slot int, plan *core.Plan) {
+				mu.Lock()
+				plans[slot] = plan.Canonical()
+				mu.Unlock()
+			},
+		}
+		newPolicy := func() sim.Scheduler {
+			return NewPolicy(Params{CellKm: 4, Workers: shardWorkers, Local: localParams()})
+		}
+		var err error
+		if simWorkers > 1 {
+			_, err = sim.RunParallel(world, tr, newPolicy, simWorkers, opts)
+		} else {
+			_, err = sim.Run(world, tr, NewPolicy(Params{CellKm: 4, Workers: shardWorkers, Local: localParams()}), opts)
+		}
+		if err != nil {
+			t.Fatalf("sim run (simWorkers=%d shardWorkers=%d): %v", simWorkers, shardWorkers, err)
+		}
+		return plans
+	}
+
+	ref := collect(1, 1)
+	if len(ref) == 0 {
+		t.Fatal("no plans collected")
+	}
+	for _, cfg := range [][2]int{{1, 4}, {1, 8}, {4, 4}, {8, 8}} {
+		got := collect(cfg[0], cfg[1])
+		if len(got) != len(ref) {
+			t.Fatalf("config %v: %d plans, reference has %d", cfg, len(got), len(ref))
+		}
+		for slot, b := range ref {
+			if !bytes.Equal(got[slot], b) {
+				t.Fatalf("config %v slot %d: plan bytes differ from reference", cfg, slot)
+			}
+		}
+	}
+}
+
+// TestShardedDeltaMatchesShardedFull proves per-shard delta state keeps
+// the merged plan digest-identical to sharded full solves over a
+// drifting demand sequence.
+func TestShardedDeltaMatchesShardedFull(t *testing.T) {
+	world, tr := genWorld(t, 50, 1500, 3000, 9000, 2)
+	base := slotDemands(t, world, tr)[0]
+	demands := driftDemands(base, 12)
+
+	deltaLocal := localParams()
+	deltaLocal.DeltaThreshold = 0.9
+	deltaLocal.FullSolveEvery = 6
+
+	full, err := New(world, Params{CellKm: 4, Local: localParams()})
+	if err != nil {
+		t.Fatalf("New(full): %v", err)
+	}
+	delta, err := New(world, Params{CellKm: 4, Local: deltaLocal, Workers: 4})
+	if err != nil {
+		t.Fatalf("New(delta): %v", err)
+	}
+	sawDelta := false
+	for s, d := range demands {
+		fp, err := full.ScheduleRound(d, core.Constraints{})
+		if err != nil {
+			t.Fatalf("round %d full: %v", s, err)
+		}
+		dp, err := delta.ScheduleRound(d, core.Constraints{})
+		if err != nil {
+			t.Fatalf("round %d delta: %v", s, err)
+		}
+		if fp.Digest() != dp.Digest() {
+			t.Fatalf("round %d: delta digest diverged from full", s)
+		}
+		sawDelta = sawDelta || dp.Stats.DeltaRound
+	}
+	if !sawDelta {
+		t.Error("no round ran on the delta path; drift generator too aggressive?")
+	}
+}
+
+// driftDemands mirrors cdnbench's delta workload: each step clones its
+// predecessor and shuffles ~10% of two hotspots' request mass between
+// videos already in their working sets, keeping totals fixed.
+func driftDemands(base *core.Demand, steps int) []*core.Demand {
+	rng := rand.New(rand.NewSource(17))
+	out := make([]*core.Demand, steps)
+	out[0] = base
+	for s := 1; s < steps; s++ {
+		d := out[s-1].Clone()
+		for k := 0; k < 2; k++ {
+			h := rng.Intn(d.NumHotspots())
+			row := d.PerVideo[h]
+			if len(row) < 2 {
+				continue
+			}
+			videos := make([]trace.VideoID, 0, len(row))
+			for v := range row {
+				videos = append(videos, v)
+			}
+			slices.Sort(videos)
+			move := d.Totals[h] / 10
+			for i := 0; move > 0 && i < 64; i++ {
+				src := videos[rng.Intn(len(videos))]
+				dst := videos[rng.Intn(len(videos))]
+				if src == dst || row[src] == 0 {
+					continue
+				}
+				n := move
+				if row[src] < n {
+					n = row[src]
+				}
+				row[src] -= n
+				if row[src] == 0 {
+					delete(row, src)
+				}
+				row[dst] += n
+				move -= n
+			}
+		}
+		out[s] = d
+	}
+	return out
+}
+
+// TestShardedClusterPartition exercises the ClusterPartition path.
+func TestShardedClusterPartition(t *testing.T) {
+	world, tr := genWorld(t, 40, 1000, 2000, 5000, 1)
+	d := slotDemands(t, world, tr)[0]
+	s, err := New(world, Params{Shards: 5})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if s.NumShards() != 5 {
+		t.Fatalf("expected 5 shards, got %d", s.NumShards())
+	}
+	plan, err := s.ScheduleRound(d, core.Constraints{})
+	if err != nil {
+		t.Fatalf("ScheduleRound: %v", err)
+	}
+	if err := invariant.CheckPlan(world, d, core.Constraints{}, plan); err != nil {
+		t.Fatalf("merged plan violates invariants: %v", err)
+	}
+}
+
+// TestShardedDemandNotMutated: the sharded round must not mutate the
+// caller's demand (the delta caller contract depends on it).
+func TestShardedDemandNotMutated(t *testing.T) {
+	world, tr := genWorld(t, 40, 1000, 2000, 5000, 1)
+	d := slotDemands(t, world, tr)[0]
+	snapshot := d.Clone()
+	s, err := New(world, Params{CellKm: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := s.ScheduleRound(d, core.Constraints{}); err != nil {
+		t.Fatalf("ScheduleRound: %v", err)
+	}
+	if !slices.Equal(d.Totals, snapshot.Totals) {
+		t.Fatal("ScheduleRound mutated demand totals")
+	}
+	for h := range d.PerVideo {
+		if len(d.PerVideo[h]) != len(snapshot.PerVideo[h]) {
+			t.Fatalf("ScheduleRound mutated per-video demand at hotspot %d", h)
+		}
+		for v, n := range d.PerVideo[h] {
+			if snapshot.PerVideo[h][v] != n {
+				t.Fatalf("ScheduleRound mutated demand at hotspot %d video %d", h, v)
+			}
+		}
+	}
+}
+
+func TestShardedParamErrors(t *testing.T) {
+	world, _ := genWorld(t, 10, 500, 500, 500, 1)
+	cases := []struct {
+		name  string
+		world *trace.World
+		p     Params
+	}{
+		{"nil world", nil, Params{}},
+		{"negative cell", world, Params{CellKm: -1}},
+		{"negative shards", world, Params{Shards: -2}},
+		{"both cell and shards", world, Params{CellKm: 3, Shards: 2}},
+		{"negative boundary theta", world, Params{BoundaryThetaKm: -1}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.world, tc.p); err == nil {
+			t.Errorf("%s: New succeeded", tc.name)
+		}
+	}
+}
+
+func TestShardedRoundValidation(t *testing.T) {
+	world, tr := genWorld(t, 20, 500, 1000, 2000, 1)
+	d := slotDemands(t, world, tr)[0]
+	s, err := New(world, Params{CellKm: 5})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := s.ScheduleRound(nil, core.Constraints{}); err == nil {
+		t.Error("nil demand accepted")
+	}
+	if _, err := s.ScheduleRound(core.NewDemand(3), core.Constraints{}); err == nil {
+		t.Error("wrong-size demand accepted")
+	}
+	if _, err := s.ScheduleRound(d, core.Constraints{Service: []int64{1}}); err == nil {
+		t.Error("wrong-size capacities accepted")
+	}
+	bad := make([]int64, len(world.Hotspots))
+	bad[0] = -5
+	if _, err := s.ScheduleRound(d, core.Constraints{Service: bad}); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	badCache := make([]int, len(world.Hotspots))
+	badCache[0] = -1
+	if _, err := s.ScheduleRound(d, core.Constraints{Cache: badCache}); err == nil {
+		t.Error("negative cache capacity accepted")
+	}
+}
+
+// TestShardedObsPublish exercises the observability surface: a round
+// with a registry attached publishes the shard counters, gauge, solve
+// timers, and histograms, and the accessors expose the partition.
+func TestShardedObsPublish(t *testing.T) {
+	world, tr := genWorld(t, 30, 800, 1500, 4000, 1)
+	d := slotDemands(t, world, tr)[0]
+	reg := obs.NewRegistry()
+	s, err := New(world, Params{CellKm: 4, Obs: reg})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if s.World() != world {
+		t.Error("World() does not return the build world")
+	}
+	if s.Partition() == nil || s.Partition().NumRegions() != s.NumShards() {
+		t.Errorf("Partition() regions = %v, want %d shards", s.Partition(), s.NumShards())
+	}
+	plan, err := s.Schedule(d)
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if plan == nil {
+		t.Fatal("nil plan")
+	}
+	if got := reg.Counter("shard.rounds").Value(); got != 1 {
+		t.Errorf("shard.rounds = %d, want 1", got)
+	}
+	snap := reg.Snapshot(true)
+	gaugeOK := false
+	for _, g := range snap.Gauges {
+		if g.Name == "shard.count" && g.Value == int64(s.NumShards()) {
+			gaugeOK = true
+		}
+	}
+	if !gaugeOK {
+		t.Errorf("shard.count gauge missing or wrong (want %d): %+v", s.NumShards(), snap.Gauges)
+	}
+	timers := map[string]bool{}
+	for _, tm := range snap.Timers {
+		timers[tm.Name] = true
+	}
+	for _, want := range []string{"shard.phase.solve", "shard.phase.solve.000", "shard.phase.boundary"} {
+		if !timers[want] {
+			t.Errorf("timer %q not published; have %v", want, snap.Timers)
+		}
+	}
+	// Deterministic snapshots exclude wall-clock instruments entirely.
+	if n := len(reg.Snapshot(false).Timers); n != 0 {
+		t.Errorf("deterministic snapshot carries %d timers", n)
+	}
+}
+
+// TestPolicySchedAccessor pins the lazy scheduler exposure: nil before
+// the first slot, then built for the policy's world.
+func TestPolicySchedAccessor(t *testing.T) {
+	p := NewPolicy(Params{CellKm: 4})
+	if p.Sched() != nil {
+		t.Fatal("Sched() non-nil before first Schedule")
+	}
+	world, tr := genWorld(t, 20, 500, 1000, 2000, 1)
+	index, err := world.Index()
+	if err != nil {
+		t.Fatalf("Index: %v", err)
+	}
+	ctx, err := sim.BuildSlotContext(world, index, 0, tr.BySlot()[0], stats.SplitRand(1, "shard-test"))
+	if err != nil {
+		t.Fatalf("BuildSlotContext: %v", err)
+	}
+	if _, err := p.Schedule(ctx); err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if p.Sched() == nil || p.Sched().World() != world {
+		t.Error("Sched() not built for the scheduled world")
+	}
+}
