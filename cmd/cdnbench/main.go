@@ -1,13 +1,15 @@
 // Command cdnbench runs the repository's headline performance
 // benchmarks programmatically and records the results as a JSON
-// artifact (BENCH_7.json by default) so CI can track ns/op, B/op, and
+// artifact (BENCH_8.json by default) so CI can track ns/op, B/op, and
 // allocs/op regressions across commits. The workload is fixed-seed and
 // matches the root bench_test.go configuration, so numbers are
 // comparable with `go test -bench=BenchmarkSchedule -benchmem .`. The
 // Server* lines measure the online service's ingest and lookup hot
-// paths through its real HTTP handlers (socketless), and ScheduleDelta
+// paths through its real HTTP handlers (socketless), ScheduleDelta
 // measures incremental rounds over a pre-generated drifting demand
-// sequence.
+// sequence, and the ServeReplay/instances=N lines replay a ServeGen
+// open-loop workload (≥1M requests in full mode) through 1/2/4/8
+// frontend instances, reporting end-to-end throughput.
 package main
 
 import (
@@ -24,11 +26,16 @@ import (
 	"runtime/pprof"
 	"slices"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/geo"
 	"repro/internal/mcmf"
+	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/server/loadgen"
 	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/similarity"
@@ -36,12 +43,16 @@ import (
 	"repro/internal/trace"
 )
 
-// benchResult is one benchmark line of the JSON artifact.
+// benchResult is one benchmark line of the JSON artifact. The replay
+// lines carry the request count and end-to-end throughput; the
+// iteration benchmarks leave them zero.
 type benchResult struct {
 	Name        string  `json:"name"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	Requests    int64   `json:"requests,omitempty"`
+	ReqPerSec   float64 `json:"req_per_sec,omitempty"`
 }
 
 // namedBench pairs an artifact name with a benchmark body.
@@ -325,6 +336,22 @@ func onlineBenches(world *trace.World, demand *core.Demand) ([]namedBench, error
 				}
 			}
 		}},
+		{name: "ServerIngestParallel", fn: func(b *testing.B) {
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				w := newNopResponseWriter()
+				var i int
+				for pb.Next() {
+					i++
+					w.reset()
+					handler.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/ingest", bytes.NewReader(bodies[i%len(bodies)])))
+					if w.status != http.StatusAccepted {
+						b.Errorf("ingest status %d", w.status)
+						return
+					}
+				}
+			})
+		}},
 		{name: "ServerLookup", fn: func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -335,6 +362,212 @@ func onlineBenches(world *trace.World, demand *core.Demand) ([]namedBench, error
 				}
 			}
 		}},
+	}, nil
+}
+
+// nopResponseWriter discards response bodies: the throughput runs
+// measure the server's work, not response capture, and reusing one
+// writer per client keeps harness allocations out of the numbers.
+type nopResponseWriter struct {
+	h      http.Header
+	status int
+}
+
+func newNopResponseWriter() *nopResponseWriter {
+	return &nopResponseWriter{h: make(http.Header, 4)}
+}
+
+func (w *nopResponseWriter) Header() http.Header         { return w.h }
+func (w *nopResponseWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (w *nopResponseWriter) WriteHeader(status int)      { w.status = status }
+func (w *nopResponseWriter) reset() {
+	w.status = 0
+	for k := range w.h {
+		delete(w.h, k)
+	}
+}
+
+// replayWorld builds the serving-tier replay's deployment: a grid of
+// hotspots with uniform capacities (the replay measures the serving
+// tier, so the world stays small enough that per-slot scheduling does
+// not dominate ingest).
+func replayWorld(hotspots, videos int) *trace.World {
+	w := &trace.World{
+		Bounds:        geo.Rect{MinX: -1, MinY: -1, MaxX: 25, MaxY: 25},
+		NumVideos:     videos,
+		CDNDistanceKm: 20,
+	}
+	for h := 0; h < hotspots; h++ {
+		w.Hotspots = append(w.Hotspots, trace.Hotspot{
+			ID:              trace.HotspotID(h),
+			Location:        geo.Point{X: float64(h % 6 * 4), Y: float64(h / 6 * 4)},
+			ServiceCapacity: 200,
+			CacheCapacity:   50,
+		})
+	}
+	return w
+}
+
+// replaySpec is the ServeGen-style open-loop workload the ServeReplay
+// lines drive: a Poisson base population, a bursty gamma class
+// (shape 0.5), and a smooth weibull class, together offering
+// clients·rate ≈ 37k req/s in full mode — ≥1M requests over the 30 s
+// horizon. quick shrinks the population and horizon for smoke runs.
+func replaySpec(quick bool) (string, int) {
+	if quick {
+		return `
+class steady clients=10 arrival=poisson rate=120 videos=zipf:0.9
+class bursty clients=5  arrival=gamma   rate=100 shape=0.5 videos=zipf:1.1
+class smooth clients=3  arrival=weibull rate=60  shape=2   videos=uniform
+`, 4
+	}
+	return `
+class steady clients=200 arrival=poisson rate=120 videos=zipf:0.9
+class bursty clients=100 arrival=gamma   rate=100 shape=0.5 videos=zipf:1.1
+class smooth clients=50  arrival=weibull rate=60  shape=2   videos=uniform
+`, 30
+}
+
+// serveReplayBenches replays one generated open-loop stream through the
+// serving tier at each instance count, socketless through every
+// frontend's handler, and reports end-to-end throughput (ingest +
+// per-slot scheduling + digest-verified fan-out). The same stream and
+// pre-encoded bodies are reused across instance counts, so the lines
+// differ only in the tier they drive.
+func serveReplayBenches(quick bool) ([]benchResult, error) {
+	specText, slots := replaySpec(quick)
+	spec, err := loadgen.ParseSpec(specText)
+	if err != nil {
+		return nil, fmt.Errorf("replay spec: %w", err)
+	}
+	world := replayWorld(24, 1000)
+	stream, err := spec.Generate(1, slots, 1.0, len(world.Hotspots), world.NumVideos)
+	if err != nil {
+		return nil, fmt.Errorf("generating replay stream: %w", err)
+	}
+	if !quick && stream.Total < 1_000_000 {
+		return nil, fmt.Errorf("replay stream holds %d requests, below the 1M floor", stream.Total)
+	}
+
+	// Pre-encode every slot's ingest bodies once.
+	bodies := make([][][]byte, len(stream.Slots))
+	var scratch []byte
+	for s, reqs := range stream.Slots {
+		bodies[s] = make([][]byte, len(reqs))
+		for i, r := range reqs {
+			scratch = r.AppendJSON(scratch[:0])
+			bodies[s][i] = append([]byte(nil), scratch...)
+		}
+	}
+
+	var results []benchResult
+	for _, instances := range []int{1, 2, 4, 8} {
+		res, err := runServeReplay(world, bodies, stream.Total, instances)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+		fmt.Printf("%-28s %12.0f ns/op %38d requests %12.0f req/s\n",
+			res.Name, res.NsPerOp, res.Requests, res.ReqPerSec)
+	}
+	return results, nil
+}
+
+// replayBody adapts a resettable bytes.Reader to io.ReadCloser so each
+// replay client reuses one request body end to end.
+type replayBody struct{ *bytes.Reader }
+
+func (replayBody) Close() error { return nil }
+
+// runServeReplay drives the pre-encoded stream through one serving
+// tier: per slot, the replay clients fan the bodies out round-robin
+// across every frontend instance, then force the slot boundary
+// (schedule + verified fan-out to all frontends) before the next slot.
+func runServeReplay(world *trace.World, bodies [][][]byte, total int, instances int) (benchResult, error) {
+	reg := obs.NewRegistry()
+	srv, err := server.New(server.Config{
+		World:      world,
+		Instances:  instances,
+		QueueBound: 1 << 30,
+		Registry:   reg,
+	})
+	if err != nil {
+		return benchResult{}, err
+	}
+	if err := srv.Start(); err != nil {
+		return benchResult{}, err
+	}
+	defer srv.Close()
+	handlers := make([]http.Handler, instances)
+	for i := range handlers {
+		handlers[i] = srv.InstanceHandler(i)
+	}
+
+	workers := runtime.GOMAXPROCS(0) * 2
+	if workers > 8 {
+		workers = 8
+	}
+	runtime.GC()
+	start := time.Now()
+	var firstErr error
+	var errOnce sync.Once
+	for slot := range bodies {
+		slotBodies := bodies[slot]
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				nw := newNopResponseWriter()
+				rd := bytes.NewReader(nil)
+				req := httptest.NewRequest(http.MethodPost, "/ingest", nil)
+				req.Body = replayBody{rd}
+				for i := w; i < len(slotBodies); i += workers {
+					rd.Reset(slotBodies[i])
+					req.ContentLength = int64(len(slotBodies[i]))
+					nw.reset()
+					handlers[i%instances].ServeHTTP(nw, req)
+					if nw.status != http.StatusAccepted {
+						errOnce.Do(func() { firstErr = fmt.Errorf("slot %d: ingest status %d", slot, nw.status) })
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return benchResult{}, firstErr
+		}
+		if len(slotBodies) > 0 {
+			if _, _, err := srv.AdvanceSlot(context.Background()); err != nil {
+				return benchResult{}, fmt.Errorf("slot %d: advance: %w", slot, err)
+			}
+		}
+	}
+	elapsed := time.Since(start)
+
+	// The run only counts if every frontend installed every epoch's
+	// exact plan (the swap counter advances solely on digest-and-byte
+	// verified installs).
+	epochs := int64(len(srv.Plans()))
+	for i := 0; i < instances; i++ {
+		pfx := fmt.Sprintf("server.shard.%d.", i)
+		if got := reg.Counter(pfx + "swaps").Value(); got != epochs {
+			return benchResult{}, fmt.Errorf("instance %d verified %d swaps, want %d", i, got, epochs)
+		}
+		if got := reg.Counter(pfx + "plan_rejects").Value(); got != 0 {
+			return benchResult{}, fmt.Errorf("instance %d rejected %d plans", i, got)
+		}
+	}
+	if got := reg.Counter("server.ingest.accepted").Value(); got != int64(total) {
+		return benchResult{}, fmt.Errorf("accepted %d of %d replayed requests", got, total)
+	}
+
+	return benchResult{
+		Name:      fmt.Sprintf("ServeReplay/instances=%d", instances),
+		NsPerOp:   float64(elapsed.Nanoseconds()) / float64(total),
+		Requests:  int64(total),
+		ReqPerSec: float64(total) / elapsed.Seconds(),
 	}, nil
 }
 
@@ -369,7 +602,7 @@ func writeResults(path string, results []benchResult) error {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_7.json", "path of the JSON benchmark artifact")
+	out := flag.String("out", "BENCH_8.json", "path of the JSON benchmark artifact")
 	quick := flag.Bool("quick", false, "shrink the schedule workload for smoke runs")
 	only := flag.String("run", "", "run only benchmarks whose name contains this substring")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
@@ -402,6 +635,14 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 	results := runSuite(benches)
+	if *only == "" || strings.Contains("ServeReplay/instances", *only) {
+		replay, err := serveReplayBenches(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cdnbench: %v\n", err)
+			os.Exit(1)
+		}
+		results = append(results, replay...)
+	}
 	if err := writeResults(*out, results); err != nil {
 		fmt.Fprintf(os.Stderr, "cdnbench: %v\n", err)
 		os.Exit(1)

@@ -60,6 +60,37 @@ func TestRunQuickSuite(t *testing.T) {
 	}
 }
 
+// TestServeReplayQuick runs the open-loop serving-tier replay at its
+// smoke scale end to end: every instance count completes, accepts the
+// whole stream, and reports positive throughput.
+func TestServeReplayQuick(t *testing.T) {
+	results, err := serveReplayBenches(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"ServeReplay/instances=1",
+		"ServeReplay/instances=2",
+		"ServeReplay/instances=4",
+		"ServeReplay/instances=8",
+	}
+	if len(results) != len(want) {
+		t.Fatalf("%d replay results, want %d", len(results), len(want))
+	}
+	for i, res := range results {
+		if res.Name != want[i] {
+			t.Errorf("result %d = %q, want %q", i, res.Name, want[i])
+		}
+		if res.Requests == 0 || res.ReqPerSec <= 0 || res.NsPerOp <= 0 {
+			t.Errorf("%s: empty or non-positive line %+v", res.Name, res)
+		}
+		if res.Requests != results[0].Requests {
+			t.Errorf("%s replayed %d requests, instances=1 replayed %d — stream must be shared",
+				res.Name, res.Requests, results[0].Requests)
+		}
+	}
+}
+
 // TestBenchmarkSuiteShape checks the quick suite assembles the headline
 // benchmarks without running them (a full run is CI's job).
 func TestBenchmarkSuiteShape(t *testing.T) {
@@ -77,6 +108,7 @@ func TestBenchmarkSuiteShape(t *testing.T) {
 		"JaccardBitset",
 		"MCMFSolveReuse",
 		"ServerIngest",
+		"ServerIngestParallel",
 		"ServerLookup",
 	}
 	if len(benches) != len(want) {

@@ -11,16 +11,24 @@
 //	-debug-addr ADDR  serve pprof/expvar/metrics on ADDR
 //	-world FILE       world JSON file (from cdntrace); when absent a
 //	                  small world is generated from -seed
+//	-instances N      frontend instances: a consistent-hash ring shards
+//	                  hotspot ingestion across N in-process frontends
+//	                  (instance 0 on -addr, the rest on ephemeral
+//	                  ports), and every slot's plan fans out to all of
+//	                  them digest-verified
 //	-slot DUR         timeslot length (default 10s; 0 = manual slots
 //	                  via POST /admin/advance)
-//	-shards N         demand accumulator lock stripes
+//	-shards N         demand accumulator lock stripes per instance
 //	-queue N          per-stripe backpressure bound (429 beyond it)
 //	-history N        per-slot plan records retained for GET /plans
 //	-drain DUR        graceful-shutdown drain timeout
 //	-seed N           world-generation seed (no -world only)
 //	-smoke            boot on an ephemeral port, replay a generated
-//	                  trace through the server over real HTTP, verify
-//	                  every slot scheduled, shut down cleanly, exit
+//	                  trace through the server over real HTTP (plus an
+//	                  open-loop generated workload when -instances > 1,
+//	                  spread across every frontend), verify every slot
+//	                  scheduled and every frontend serves the same
+//	                  (epoch, digest), shut down cleanly, exit
 //	-delta            incremental delta scheduling: warm-start each
 //	                  slot from the previous one's solution (plans stay
 //	                  digest-identical to full solves)
@@ -54,6 +62,7 @@ func run(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:8370", "listen address")
 	debugAddr := fs.String("debug-addr", "", "serve pprof/expvar/metrics on this address")
 	worldPath := fs.String("world", "", "world JSON file (default: generate from -seed)")
+	instances := fs.Int("instances", 0, "frontend instances sharded by consistent hashing (0 = 1)")
 	slot := fs.Duration("slot", 10*time.Second, "timeslot length (0 = manual slots)")
 	shards := fs.Int("shards", 0, "demand lock stripes (0 = default)")
 	queue := fs.Int("queue", 0, "per-stripe backpressure bound (0 = default)")
@@ -71,7 +80,7 @@ func run(args []string) error {
 		params = crowdcdn.DeltaParams(*deltaEvery)
 	}
 	if *smoke {
-		return runSmoke(*seed, params)
+		return runSmoke(*seed, params, *instances)
 	}
 
 	world, err := loadWorld(*worldPath, *seed)
@@ -91,6 +100,7 @@ func run(args []string) error {
 		World:        world,
 		Params:       params,
 		Addr:         *addr,
+		Instances:    *instances,
 		Shards:       *shards,
 		QueueBound:   *queue,
 		SlotDuration: *slot,
@@ -106,6 +116,9 @@ func run(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "cdnserver: serving %d hotspots on http://%s (slot %v)\n",
 		len(world.Hotspots), srv.Addr(), *slot)
+	for i := 1; i < srv.NumInstances(); i++ {
+		fmt.Fprintf(os.Stderr, "cdnserver: frontend %d on http://%s\n", i, srv.InstanceAddr(i))
+	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
@@ -128,12 +141,25 @@ func smokeConfig(seed int64) crowdcdn.TraceConfig {
 	return cfg
 }
 
-// runSmoke is the CI end-to-end check: boot the server on an ephemeral
-// port with manual slots, replay a generated trace through it over real
-// HTTP, require every slot to have scheduled a plan with no rejections,
-// and shut down cleanly. params carries the scheduling mode (-delta
-// smokes the incremental path).
-func runSmoke(seed int64, params crowdcdn.Params) error {
+// smokeWorkload is the open-loop workload the smoke run drives after
+// the trace replay: three small client classes covering every arrival
+// distribution of the workload-spec grammar.
+const smokeWorkload = `
+class steady clients=8 arrival=poisson rate=40 videos=zipf:0.9
+class bursty clients=4 arrival=gamma   rate=30 shape=0.5 videos=zipf:1.1
+class smooth clients=2 arrival=weibull rate=20 shape=2   videos=uniform
+`
+
+// runSmoke is the CI end-to-end check: boot the serving tier on
+// ephemeral ports with manual slots, replay a generated trace through
+// it over real HTTP (rotating across every frontend), drive an
+// open-loop generated workload on top, require every slot to have
+// scheduled a plan with no rejections and every frontend to serve the
+// same (epoch, digest), and shut down cleanly. params carries the
+// scheduling mode (-delta smokes the incremental path); instances
+// sizes the frontend fleet (-instances 3 smokes ring sharding and the
+// digest-verified plan fan-out).
+func runSmoke(seed int64, params crowdcdn.Params, instances int) error {
 	world, tr, err := crowdcdn.Generate(smokeConfig(seed))
 	if err != nil {
 		return err
@@ -142,8 +168,9 @@ func runSmoke(seed int64, params crowdcdn.Params) error {
 	srv, err := crowdcdn.NewServer(crowdcdn.ServerConfig{
 		World:       world,
 		Params:      params,
+		Instances:   instances,
 		Registry:    reg,
-		PlanHistory: tr.Slots + 1,
+		PlanHistory: tr.Slots + 16,
 	})
 	if err != nil {
 		return err
@@ -151,7 +178,11 @@ func runSmoke(seed int64, params crowdcdn.Params) error {
 	if err := srv.Start(); err != nil {
 		return err
 	}
-	report, err := crowdcdn.ReplayTrace("http://"+srv.Addr(), world, tr, crowdcdn.LoadgenOptions{Workers: 8})
+	targets := make([]string, srv.NumInstances())
+	for i := range targets {
+		targets[i] = "http://" + srv.InstanceAddr(i)
+	}
+	report, err := crowdcdn.ReplayTrace(targets[0], world, tr, crowdcdn.LoadgenOptions{Workers: 8, Targets: targets})
 	if err != nil {
 		srv.Close()
 		return fmt.Errorf("replay: %w", err)
@@ -164,19 +195,54 @@ func runSmoke(seed int64, params crowdcdn.Params) error {
 		fmt.Printf("slot %d: sent %d accepted %d rejected %d %s epoch %d digest %s\n",
 			sr.Slot, sr.Sent, sr.Accepted, sr.Rejected, status, sr.Epoch, sr.Digest)
 	}
+
+	// Open-loop phase: a generated ServeGen-style stream across every
+	// frontend.
+	spec, err := crowdcdn.ParseWorkloadSpec(smokeWorkload)
+	if err != nil {
+		srv.Close()
+		return fmt.Errorf("workload spec: %w", err)
+	}
+	stream, err := spec.Generate(seed, 3, 1.0, len(world.Hotspots), world.NumVideos)
+	if err != nil {
+		srv.Close()
+		return fmt.Errorf("workload: %w", err)
+	}
+	open, err := crowdcdn.DriveWorkload(targets[0], stream, crowdcdn.LoadgenOptions{Workers: 8, Targets: targets})
+	if err != nil {
+		srv.Close()
+		return fmt.Errorf("open-loop drive: %w", err)
+	}
+	fmt.Printf("open-loop: %d generated requests accepted %d rejected %d over %d slots\n",
+		stream.Total, open.Accepted, open.Rejected, len(open.Slots))
+
+	// Every frontend must be serving the exact same (epoch, digest).
+	wantEpoch, wantDigest := srv.InstanceEpochDigest(0)
+	for i := 0; i < srv.NumInstances(); i++ {
+		epoch, digest := srv.InstanceEpochDigest(i)
+		fmt.Printf("frontend %d: serving epoch %d digest %s\n", i, epoch, digest)
+		if epoch != wantEpoch || digest != wantDigest {
+			srv.Close()
+			return fmt.Errorf("frontend %d serves (epoch %d, %s), frontend 0 (epoch %d, %s)",
+				i, epoch, digest, wantEpoch, wantDigest)
+		}
+	}
 	if err := srv.Close(); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
 	if report.Accepted != int64(len(tr.Requests)) || report.Rejected != 0 {
 		return fmt.Errorf("accepted %d rejected %d of %d requests", report.Accepted, report.Rejected, len(tr.Requests))
 	}
+	if open.Accepted != int64(stream.Total) || open.Rejected != 0 {
+		return fmt.Errorf("open-loop accepted %d rejected %d of %d requests", open.Accepted, open.Rejected, stream.Total)
+	}
 	for _, sr := range report.Slots {
 		if sr.Sent > 0 && !sr.Scheduled {
 			return fmt.Errorf("slot %d ingested %d requests but scheduled no plan", sr.Slot, sr.Sent)
 		}
 	}
-	fmt.Printf("smoke ok: %d requests over %d slots, %d plans\n",
-		report.Accepted, len(report.Slots), len(srv.Plans()))
+	fmt.Printf("smoke ok: %d trace + %d open-loop requests over %d frontends, %d plans\n",
+		report.Accepted, open.Accepted, srv.NumInstances(), len(srv.Plans()))
 	return nil
 }
 

@@ -177,6 +177,15 @@ type (
 	LoadgenOptions = loadgen.Options
 	// LoadgenReport is the outcome of a replay.
 	LoadgenReport = loadgen.Report
+	// WorkloadSpec is a parsed ServeGen-style open-loop workload
+	// specification (client classes with Poisson/gamma/Weibull
+	// arrivals; see ParseWorkloadSpec and DESIGN.md §15).
+	WorkloadSpec = loadgen.Spec
+	// WorkloadClass is one declared client class of a WorkloadSpec.
+	WorkloadClass = loadgen.ClassSpec
+	// WorkloadStream is a materialised open-loop request schedule,
+	// bucketed by timeslot (byte-reproducible per seed).
+	WorkloadStream = loadgen.Stream
 )
 
 // NewServer validates the configuration and builds an online scheduling
@@ -188,6 +197,22 @@ func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
 // including each served plan's digest.
 func ReplayTrace(baseURL string, world *World, tr *Trace, opts LoadgenOptions) (*LoadgenReport, error) {
 	return loadgen.Replay(baseURL, world, tr, opts)
+}
+
+// ParseWorkloadSpec parses the line-based open-loop workload grammar:
+//
+//	class <name> clients=N arrival=poisson|gamma|weibull rate=R [shape=S] [videos=zipf:A|uniform]
+//
+// Generate a byte-reproducible request stream with
+// (*WorkloadSpec).Generate and drive it with DriveWorkload.
+func ParseWorkloadSpec(text string) (*WorkloadSpec, error) { return loadgen.ParseSpec(text) }
+
+// DriveWorkload posts a generated open-loop stream through a serving
+// tier slot by slot, fanning requests across opts.Targets (every
+// frontend of a multi-instance server) and forcing slot boundaries
+// through baseURL.
+func DriveWorkload(baseURL string, stream *WorkloadStream, opts LoadgenOptions) (*LoadgenReport, error) {
+	return loadgen.DriveOpenLoop(baseURL, stream, opts)
 }
 
 // NewMetricsRegistry returns an empty metrics registry.

@@ -7,15 +7,25 @@ import (
 )
 
 func TestWorkers(t *testing.T) {
-	if got := Workers(3); got != 3 {
-		t.Errorf("Workers(3) = %d", got)
+	procs := runtime.GOMAXPROCS(0)
+	min := func(a, b int) int {
+		if a < b {
+			return a
+		}
+		return b
 	}
-	want := runtime.GOMAXPROCS(0)
-	if got := Workers(0); got != want {
-		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, want)
+	// Positive requests are honoured up to GOMAXPROCS and clamped there:
+	// extra goroutines beyond the Ps only oversubscribe the scheduler.
+	for _, req := range []int{1, 2, 3, 8, 64} {
+		if got, want := Workers(req), min(req, procs); got != want {
+			t.Errorf("Workers(%d) = %d, want %d (GOMAXPROCS %d)", req, got, want, procs)
+		}
 	}
-	if got := Workers(-5); got != want {
-		t.Errorf("Workers(-5) = %d, want GOMAXPROCS %d", got, want)
+	if got := Workers(0); got != procs {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, procs)
+	}
+	if got := Workers(-5); got != procs {
+		t.Errorf("Workers(-5) = %d, want GOMAXPROCS %d", got, procs)
 	}
 }
 

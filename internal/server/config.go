@@ -20,6 +20,9 @@ const (
 	// maxShards bounds the lock-stripe count: beyond this the stripes
 	// stop reducing contention and only waste memory.
 	maxShards = 1 << 12
+	// maxInstances bounds the in-process frontend fleet: each instance
+	// carries its own stripe array, listener, and serving plan.
+	maxInstances = 64
 	// maxSnapshotQueue bounds the number of slot snapshots awaiting
 	// recomputation. When the scheduler falls this far behind the slot
 	// ticker, newer snapshots are coalesced into the newest queued one
@@ -41,10 +44,18 @@ type Config struct {
 	// Addr is the listen address ("host:port"; port 0 picks an
 	// ephemeral port). Empty selects "127.0.0.1:0".
 	Addr string
-	// Shards is the number of lock stripes the per-hotspot demand
-	// accumulators are spread over. Hotspot h is owned by stripe
-	// h mod Shards, so concurrent ingests for different stripes never
-	// contend. 0 selects DefaultShards.
+	// Instances is the number of frontend instances the serving tier
+	// runs in-process. A consistent-hash ring shards hotspot
+	// ingestion across them (each instance has its own lock-striped
+	// accumulators and its own listener), every slot's plan fans out
+	// to all of them digest-verified, and each serves redirect
+	// lookups from its own copy of the plan. 0 selects 1 (the
+	// single-instance server).
+	Instances int
+	// Shards is the number of lock stripes each instance's per-hotspot
+	// demand accumulators are spread over. Within an instance, hotspot
+	// h is owned by stripe h mod Shards, so concurrent ingests for
+	// different stripes never contend. 0 selects DefaultShards.
 	Shards int
 	// QueueBound caps the accepted-but-not-yet-snapshotted requests
 	// per stripe. An ingest that would exceed its stripe's bound is
@@ -92,6 +103,12 @@ func (c Config) Validate() error {
 			return fmt.Errorf("server: invalid params: %w", err)
 		}
 	}
+	if c.Instances < 0 {
+		return fmt.Errorf("server: negative Instances %d", c.Instances)
+	}
+	if c.Instances > maxInstances {
+		return fmt.Errorf("server: Instances %d above the %d instance cap", c.Instances, maxInstances)
+	}
 	if c.Shards < 0 {
 		return fmt.Errorf("server: negative Shards %d", c.Shards)
 	}
@@ -124,6 +141,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Addr == "" {
 		c.Addr = "127.0.0.1:0"
+	}
+	if c.Instances == 0 {
+		c.Instances = 1
 	}
 	if c.Shards == 0 {
 		c.Shards = DefaultShards

@@ -2,6 +2,9 @@ package server_test
 
 import (
 	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"strconv"
 	"testing"
 
 	"repro/internal/core"
@@ -185,6 +188,135 @@ func TestServerDeltaMatchesOfflineFullSim(t *testing.T) {
 	}
 	if got := reg.Counter("server.plan.delta_rounds").Value(); got == 0 {
 		t.Error("no delta rounds recorded — the replay never exercised the delta path")
+	}
+}
+
+// TestMultiInstanceServerMatchesOfflineSim is the scaled-out
+// byte-identity certification: a four-frontend serving tier (real HTTP,
+// ingest rotated across every frontend, ring-sharded accumulation,
+// digest-verified plan fan-out) must serve per-slot plans byte-identical
+// to sim.Run's offline plans for the same trace, with every frontend on
+// the exact same (epoch, digest) after each swap.
+func TestMultiInstanceServerMatchesOfflineSim(t *testing.T) {
+	world, tr := e2eWorldAndTrace(t)
+	params := core.DefaultParams()
+
+	offline := make(map[int]string)
+	_, err := sim.Run(world, tr, scheme.NewRBCAer(params), sim.Options{
+		PlanSink: func(slot int, plan *core.Plan) {
+			offline[slot] = hex.EncodeToString(plan.Canonical())
+		},
+	})
+	if err != nil {
+		t.Fatalf("sim.Run: %v", err)
+	}
+
+	const instances = 4
+	reg := obs.NewRegistry()
+	srv, err := server.New(server.Config{
+		World:       world,
+		Params:      params,
+		Registry:    reg,
+		Instances:   instances,
+		PlanHistory: tr.Slots + 1,
+		QueueBound:  1 << 20,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer srv.Close()
+
+	targets := make([]string, instances)
+	for i := 0; i < instances; i++ {
+		addr := srv.InstanceAddr(i)
+		if addr == "" {
+			t.Fatalf("instance %d has no listen address", i)
+		}
+		targets[i] = "http://" + addr
+	}
+	report, err := loadgen.Replay(targets[0], world, tr, loadgen.Options{Workers: 8, Targets: targets})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if report.Rejected != 0 {
+		t.Fatalf("%d requests rejected — QueueBound too small for byte-identity", report.Rejected)
+	}
+	if report.Accepted != int64(len(tr.Requests)) {
+		t.Fatalf("accepted %d of %d requests", report.Accepted, len(tr.Requests))
+	}
+
+	// Byte identity against the offline simulator.
+	online := make(map[int]string)
+	epochs := 0
+	for _, rec := range srv.Plans() {
+		online[rec.Slot] = rec.Canonical
+		epochs++
+	}
+	if len(online) != len(offline) {
+		t.Fatalf("online scheduled %d slots, offline %d", len(online), len(offline))
+	}
+	for slot, want := range offline {
+		if online[slot] != want {
+			t.Errorf("slot %d: multi-instance plan differs from offline", slot)
+		}
+	}
+
+	// Every frontend installed every epoch's exact plan: the swap counter
+	// only advances on digest-and-byte-verified installs, so
+	// swaps == epochs with zero rejects proves each epoch's fan-out
+	// delivered the identical plan to all frontends.
+	for i := 0; i < instances; i++ {
+		pfx := "server.shard." + strconv.Itoa(i) + "."
+		if got := reg.Counter(pfx + "swaps").Value(); got != int64(epochs) {
+			t.Errorf("instance %d: %d verified swaps, want %d", i, got, epochs)
+		}
+		if got := reg.Counter(pfx + "plan_rejects").Value(); got != 0 {
+			t.Errorf("instance %d: %d plan rejects, want 0", i, got)
+		}
+	}
+	if got := reg.Counter("server.plan.rejects").Value(); got != 0 {
+		t.Errorf("scheduler counted %d fan-out rejects, want 0", got)
+	}
+
+	// And over real HTTP, every frontend reports the same serving
+	// (epoch, digest) in /healthz.
+	last := srv.Plans()[len(srv.Plans())-1]
+	for i := 0; i < instances; i++ {
+		resp, err := http.Get(targets[i] + "/healthz")
+		if err != nil {
+			t.Fatalf("healthz %d: %v", i, err)
+		}
+		var hz struct {
+			Instance     int    `json:"instance"`
+			Instances    int    `json:"instances"`
+			ServingEpoch int64  `json:"serving_epoch"`
+			Digest       string `json:"digest"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+			t.Fatalf("healthz %d: decoding: %v", i, err)
+		}
+		resp.Body.Close()
+		if hz.Instance != i || hz.Instances != instances {
+			t.Errorf("healthz %d: reports instance %d of %d", i, hz.Instance, hz.Instances)
+		}
+		if hz.ServingEpoch != last.Epoch || hz.Digest != last.Digest {
+			t.Errorf("healthz %d: serving (epoch %d, %s), want (epoch %d, %s)",
+				i, hz.ServingEpoch, hz.Digest, last.Epoch, last.Digest)
+		}
+	}
+
+	// Demand really was sharded: more than one instance accumulated.
+	busy := 0
+	for i := 0; i < instances; i++ {
+		if reg.Counter("server.shard."+strconv.Itoa(i)+".accepted").Value() > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Errorf("only %d of %d instances accumulated demand — ring sharding inert", busy, instances)
 	}
 }
 

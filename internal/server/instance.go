@@ -1,0 +1,273 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// instance is one frontend of the serving tier. Each instance owns a
+// private array of lock-striped demand accumulators (the
+// consistent-hash ring decides which instance a hotspot's ingestion
+// lands in, and within the instance hotspot h belongs to stripe
+// h mod Shards), its own HTTP listener, and its own atomically
+// swapped serving plan, rebuilt from the distributed canonical bytes
+// at every epoch. All instances answer the full API; lookups are
+// served from the instance's local plan, which install verifies is
+// the exact plan the scheduler published.
+type instance struct {
+	id     int
+	srv    *Server
+	shards []*demandShard
+
+	// current is this frontend's serving plan, swapped atomically by
+	// install. Lookups only ever Load it.
+	current atomic.Pointer[servingPlan]
+
+	httpSrv *http.Server
+	ln      net.Listener
+
+	// cached per-instance counters (server.shard.<id>.*): registry
+	// lookups are off the request hot path.
+	accepted  *obs.Counter // requests accumulated into this instance's stripes
+	forwarded *obs.Counter // arrived here, owned by (and routed to) another instance
+	swaps     *obs.Counter // verified plan installs
+	rejects   *obs.Counter // plan installs refused by verification
+	lookups   *obs.Counter // redirect lookups answered by this frontend
+}
+
+// newInstance builds frontend id with its own stripes and counters.
+func newInstance(s *Server, id int) *instance {
+	in := &instance{id: id, srv: s}
+	in.shards = make([]*demandShard, s.cfg.Shards)
+	for i := range in.shards {
+		in.shards[i] = &demandShard{}
+	}
+	pfx := "server.shard." + strconv.Itoa(id) + "."
+	in.accepted = s.reg.Counter(pfx + "accepted")
+	in.forwarded = s.reg.Counter(pfx + "forwarded")
+	in.swaps = s.reg.Counter(pfx + "swaps")
+	in.rejects = s.reg.Counter(pfx + "plan_rejects")
+	in.lookups = s.reg.Counter(pfx + "lookups")
+	return in
+}
+
+// listen starts this frontend's HTTP server on addr.
+func (in *instance) listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: instance %d: %w", in.id, err)
+	}
+	in.ln = ln
+	in.httpSrv = &http.Server{Handler: in.handler(), ReadHeaderTimeout: 5 * time.Second}
+	in.srv.wg.Add(1)
+	go func() {
+		defer in.srv.wg.Done()
+		if err := in.httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			in.srv.reg.Counter("server.http.errors").Inc()
+		}
+	}()
+	return nil
+}
+
+// shutdown stops this frontend's HTTP server, bounded by ctx.
+func (in *instance) shutdown(ctx context.Context) error {
+	if in.httpSrv == nil {
+		return nil
+	}
+	return in.httpSrv.Shutdown(ctx)
+}
+
+// handler builds this frontend's HTTP API (every instance serves the
+// same routes; ingest and redirect act on instance-local state, the
+// admin and history routes on the shared scheduler).
+func (in *instance) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest", in.handleIngest)
+	mux.HandleFunc("GET /redirect", in.handleRedirect)
+	mux.HandleFunc("GET /plans", in.srv.handlePlans)
+	mux.HandleFunc("GET /healthz", in.handleHealthz)
+	mux.HandleFunc("POST /admin/advance", in.srv.handleAdvance)
+	return mux
+}
+
+// install is the receive side of the plan-distribution channel: the
+// frontend rebuilds its serving plan from the canonical bytes the
+// scheduler published and verifies it is exactly the advertised plan —
+// the received bytes must hash to the advertised digest, must parse,
+// and must re-encode to the identical bytes. Any mismatch rejects the
+// swap (the frontend keeps serving its previous plan) and is counted
+// loudly; install never tears a plan, because publication is a single
+// atomic pointer store of a fully built plan.
+func (in *instance) install(epoch int64, slot int, requests int64, canonical []byte, digest uint64) error {
+	if got := core.DigestOf(canonical); got != digest {
+		in.rejects.Inc()
+		return fmt.Errorf("server: instance %d: plan digest %016x, advertised %016x", in.id, got, digest)
+	}
+	plan, err := core.ParseCanonical(canonical)
+	if err != nil {
+		in.rejects.Inc()
+		return fmt.Errorf("server: instance %d: %w", in.id, err)
+	}
+	sp := newServingPlan(epoch, slot, requests, plan, in.srv.world.NumVideos)
+	if !bytes.Equal(sp.canonical, canonical) {
+		in.rejects.Inc()
+		return fmt.Errorf("server: instance %d: plan bytes did not round-trip", in.id)
+	}
+	in.current.Store(sp)
+	in.swaps.Inc()
+	return nil
+}
+
+func (in *instance) handleIngest(w http.ResponseWriter, r *http.Request) {
+	s := in.srv
+	sc := getScratch()
+	defer putScratch(sc)
+	body, err := readBody(w, r, s.cfg.MaxBodyBytes, sc.body[:0])
+	sc.body = body
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.reg.Counter("server.ingest.oversized").Inc()
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{Error: "body too large"})
+			return
+		}
+		s.ingestMalformed.Inc()
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "reading body"})
+		return
+	}
+	req, err := decodeIngest(body)
+	if err != nil {
+		s.ingestMalformed.Inc()
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	h, v, err := resolveIngest(s.world, s.index, req)
+	if err != nil {
+		s.ingestMalformed.Inc()
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	// The ring owns the hotspot → instance mapping; a request may
+	// arrive at any frontend and is accumulated at the owner.
+	owner := in
+	if n := len(s.instances); n > 1 {
+		owner = s.instances[s.ring.OwnerOfHotspot(h)]
+	}
+	sh := owner.shards[h%len(owner.shards)]
+	if !sh.add(trace.HotspotID(h), v, int64(s.cfg.QueueBound)) {
+		// Backpressure: the stripe is at its bound until the next slot
+		// snapshot drains it. The rejection is visible (429 + counter),
+		// never a silent drop.
+		s.ingestRejected.Inc()
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "ingest queue full, retry next slot"})
+		return
+	}
+	s.ingestAccepted.Inc()
+	owner.accepted.Inc()
+	if owner != in {
+		in.forwarded.Inc()
+	}
+	sc.resp = append(sc.resp[:0], `{"hotspot":`...)
+	sc.resp = strconv.AppendInt(sc.resp, int64(h), 10)
+	sc.resp = append(sc.resp, '}', '\n')
+	writeRawJSON(w, http.StatusAccepted, sc.resp)
+}
+
+func (in *instance) handleRedirect(w http.ResponseWriter, r *http.Request) {
+	s := in.srv
+	q := r.URL.Query()
+	video, err := strconv.Atoi(q.Get("video"))
+	if err != nil || video < 0 || video >= s.world.NumVideos {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "video outside the catalogue"})
+		return
+	}
+	hotspot, err := strconv.Atoi(q.Get("hotspot"))
+	if err != nil || hotspot < 0 || hotspot >= len(s.world.Hotspots) {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "hotspot outside the fleet"})
+		return
+	}
+	sp := in.current.Load()
+	res := sp.lookup(hotspot, video)
+	s.lookupTotal.Inc()
+	in.lookups.Inc()
+	switch {
+	case res.target == CDN:
+		s.lookupCDN.Inc()
+	case res.redirected:
+		s.lookupRedirect.Inc()
+	default:
+		s.lookupLocal.Inc()
+	}
+	sc := getScratch()
+	defer putScratch(sc)
+	b := append(sc.resp[:0], `{"target":`...)
+	b = strconv.AppendInt(b, int64(res.target), 10)
+	if sp != nil {
+		b = append(b, `,"epoch":`...)
+		b = strconv.AppendInt(b, sp.epoch, 10)
+		b = append(b, `,"slot":`...)
+		b = strconv.AppendInt(b, int64(sp.slot), 10)
+		b = append(b, `,"digest":"`...)
+		b = appendDigest(b, sp.digest)
+		b = append(b, '"')
+	}
+	b = append(b, '}', '\n')
+	sc.resp = b
+	writeRawJSON(w, http.StatusOK, b)
+}
+
+func (in *instance) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s := in.srv
+	s.mu.Lock()
+	slot, epoch := s.slot, s.epoch
+	s.mu.Unlock()
+	mode := "full"
+	if s.cfg.Params.DeltaThreshold > 0 {
+		mode = "delta"
+	}
+	resp := map[string]any{
+		"status":    "ok",
+		"slot":      slot,
+		"epoch":     epoch,
+		"mode":      mode,
+		"instance":  in.id,
+		"instances": len(s.instances),
+	}
+	if sp := in.current.Load(); sp != nil {
+		resp["serving_epoch"] = sp.epoch
+		resp["digest"] = digestString(sp.digest)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeJSON writes one JSON response (cold paths; the hot paths build
+// their bytes into pooled scratch and use writeRawJSON).
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeRawJSON writes pre-encoded JSON bytes.
+func writeRawJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,77 @@
+package loadgen
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzWorkloadSpec holds the workload-spec parser to its contracts:
+// never panic on arbitrary input, and for every spec it does accept,
+// (1) the parsed classes are internally consistent (positive clients
+// and rate, shape agreeing with the arrival distribution) and (2) the
+// grammar round-trips — rendering the spec and re-parsing it yields
+// the identical spec, so a stored spec always regenerates the same
+// workload.
+func FuzzWorkloadSpec(f *testing.F) {
+	seeds := []string{
+		"class a clients=1 arrival=poisson rate=1",
+		"class steady clients=20 arrival=poisson rate=5 videos=zipf:0.8",
+		"class bursty clients=8 arrival=gamma rate=10 shape=0.5 videos=zipf:1.1",
+		"class smooth clients=4 arrival=weibull rate=2 shape=2 videos=uniform",
+		"# comment\n\nclass a clients=1 arrival=poisson rate=0.25\n",
+		"class a clients=1 arrival=poisson rate=1e-3",
+		"class a clients=1 arrival=poisson rate=1 shape=2",
+		"class a clients=0 arrival=poisson rate=1",
+		"class a clients=99999999999999999999 arrival=poisson rate=1",
+		"class a rate=NaN arrival=poisson clients=1",
+		"class a=b",
+		"class",
+		"server x=1",
+		"class a clients=1 arrival=gamma rate=1 shape=Inf",
+		"class a clients=1 arrival=poisson rate=1 videos=zipf:",
+		"\x00\xff",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		spec, err := ParseSpec(text)
+		if err != nil {
+			return
+		}
+		if len(spec.Classes) == 0 {
+			t.Fatal("accepted a spec with no classes")
+		}
+		for _, c := range spec.Classes {
+			if c.Clients <= 0 || c.Clients > maxSpecClients {
+				t.Fatalf("class %s: accepted clients=%d", c.Name, c.Clients)
+			}
+			if !(c.Rate > 0) {
+				t.Fatalf("class %s: accepted rate=%v", c.Name, c.Rate)
+			}
+			switch c.Arrival {
+			case ArrivalPoisson:
+				if c.Shape != 0 {
+					t.Fatalf("class %s: poisson with shape %v", c.Name, c.Shape)
+				}
+			case ArrivalGamma, ArrivalWeibull:
+				if !(c.Shape > 0) {
+					t.Fatalf("class %s: %s with shape %v", c.Name, c.Arrival, c.Shape)
+				}
+			default:
+				t.Fatalf("class %s: accepted arrival %q", c.Name, c.Arrival)
+			}
+			if c.Uniform && c.ZipfAlpha != 0 {
+				t.Fatalf("class %s: uniform with zipf alpha %v", c.Name, c.ZipfAlpha)
+			}
+		}
+		again, err := ParseSpec(spec.String())
+		if err != nil {
+			t.Fatalf("rendered spec %q does not re-parse: %v", spec.String(), err)
+		}
+		if !reflect.DeepEqual(spec, again) {
+			t.Fatalf("grammar round trip changed the spec:\n%+v\n%+v", spec, again)
+		}
+	})
+}

@@ -34,6 +34,11 @@ type Options struct {
 	// nearest-hotspot resolution (the same code path the simulator
 	// aggregates with).
 	ByHotspot bool
+	// Targets, when non-empty, is the full list of frontend base URLs
+	// ingest posts rotate across round-robin (a multi-instance serving
+	// tier accepts any request at any frontend). Slot boundaries are
+	// still forced through baseURL. Empty selects baseURL alone.
+	Targets []string
 }
 
 // SlotReport is the outcome of replaying one timeslot.
@@ -84,9 +89,14 @@ func Replay(baseURL string, world *trace.World, tr *trace.Trace, opts Options) (
 		client = &http.Client{}
 	}
 
+	targets := opts.Targets
+	if len(targets) == 0 {
+		targets = []string{baseURL}
+	}
+
 	report := &Report{}
 	for slot, reqs := range tr.BySlot() {
-		sr, err := replaySlot(client, baseURL, slot, reqs, workers, opts.ByHotspot, world)
+		sr, err := replaySlot(client, baseURL, targets, slot, reqs, workers, opts.ByHotspot, world)
 		if err != nil {
 			return report, err
 		}
@@ -98,21 +108,48 @@ func Replay(baseURL string, world *trace.World, tr *trace.Trace, opts Options) (
 	return report, nil
 }
 
-// replaySlot posts one slot's requests and forces the slot boundary.
-func replaySlot(client *http.Client, baseURL string, slot int, reqs []trace.Request, workers int, byHotspot bool, world *trace.World) (SlotReport, error) {
-	sr := SlotReport{Slot: slot, Sent: len(reqs)}
-	var accepted, rejected atomic.Int64
-	errs := make(chan error, workers)
-	work := make(chan trace.Request)
-	var wg sync.WaitGroup
+// replaySlot encodes one slot's requests and drives them through the
+// tier.
+func replaySlot(client *http.Client, baseURL string, targets []string, slot int, reqs []trace.Request, workers int, byHotspot bool, world *trace.World) (SlotReport, error) {
 	var index *geo.Grid
 	if byHotspot {
 		g, err := world.Index()
 		if err != nil {
-			return sr, fmt.Errorf("loadgen: %w", err)
+			return SlotReport{Slot: slot, Sent: len(reqs)}, fmt.Errorf("loadgen: %w", err)
 		}
 		index = g
 	}
+	bodies := make([][]byte, len(reqs))
+	for i, req := range reqs {
+		body := ingestBody{User: int64(req.User), Video: int64(req.Video)}
+		if index != nil {
+			h, _, ok := index.Nearest(req.Location)
+			if !ok {
+				return SlotReport{Slot: slot, Sent: len(reqs)}, fmt.Errorf("loadgen: no hotspot for request %d", req.ID)
+			}
+			hh := int64(h)
+			body.Hotspot = &hh
+		} else {
+			x, y := req.Location.X, req.Location.Y
+			body.X, body.Y = &x, &y
+		}
+		data, err := json.Marshal(body)
+		if err != nil {
+			return SlotReport{Slot: slot, Sent: len(reqs)}, fmt.Errorf("loadgen: %w", err)
+		}
+		bodies[i] = data
+	}
+	return driveSlot(client, baseURL, targets, slot, bodies, workers)
+}
+
+// driveSlot posts one slot's pre-encoded ingest bodies (rotating across
+// targets) and forces the slot boundary through baseURL.
+func driveSlot(client *http.Client, baseURL string, targets []string, slot int, bodies [][]byte, workers int) (SlotReport, error) {
+	sr := SlotReport{Slot: slot, Sent: len(bodies)}
+	var accepted, rejected, rr atomic.Int64
+	errs := make(chan error, workers)
+	work := make(chan []byte)
+	var wg sync.WaitGroup
 	// failed makes workers drain the channel without posting once any
 	// of them errors, so the feeding loop below never blocks.
 	var failed atomic.Bool
@@ -120,11 +157,12 @@ func replaySlot(client *http.Client, baseURL string, slot int, reqs []trace.Requ
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for req := range work {
+			for body := range work {
 				if failed.Load() {
 					continue
 				}
-				status, err := postIngest(client, baseURL, req, index)
+				target := targets[int(uint64(rr.Add(1)-1)%uint64(len(targets)))]
+				status, err := postIngest(client, target, body)
 				if err != nil {
 					failed.Store(true)
 					select {
@@ -148,8 +186,8 @@ func replaySlot(client *http.Client, baseURL string, slot int, reqs []trace.Requ
 			}
 		}()
 	}
-	for _, req := range reqs {
-		work <- req
+	for _, body := range bodies {
+		work <- body
 	}
 	close(work)
 	wg.Wait()
@@ -171,25 +209,9 @@ func replaySlot(client *http.Client, baseURL string, slot int, reqs []trace.Requ
 	return sr, nil
 }
 
-// postIngest sends one request and returns the HTTP status.
-func postIngest(client *http.Client, baseURL string, req trace.Request, index *geo.Grid) (int, error) {
-	body := ingestBody{User: int64(req.User), Video: int64(req.Video)}
-	if index != nil {
-		h, _, ok := index.Nearest(req.Location)
-		if !ok {
-			return 0, fmt.Errorf("loadgen: no hotspot for request %d", req.ID)
-		}
-		hh := int64(h)
-		body.Hotspot = &hh
-	} else {
-		x, y := req.Location.X, req.Location.Y
-		body.X, body.Y = &x, &y
-	}
-	data, err := json.Marshal(body)
-	if err != nil {
-		return 0, fmt.Errorf("loadgen: %w", err)
-	}
-	resp, err := client.Post(baseURL+"/ingest", "application/json", bytes.NewReader(data))
+// postIngest sends one pre-encoded body and returns the HTTP status.
+func postIngest(client *http.Client, target string, body []byte) (int, error) {
+	resp, err := client.Post(target+"/ingest", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return 0, fmt.Errorf("loadgen: %w", err)
 	}

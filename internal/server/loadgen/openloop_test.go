@@ -1,0 +1,92 @@
+package loadgen_test
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/server/loadgen"
+	"repro/internal/trace"
+)
+
+// openLoopWorld is a small uniform world for driver tests.
+func openLoopWorld(m int) *trace.World {
+	w := &trace.World{
+		Bounds:        geo.Rect{MinX: -1, MinY: -1, MaxX: float64(m), MaxY: 1},
+		NumVideos:     120,
+		CDNDistanceKm: 20,
+	}
+	for h := 0; h < m; h++ {
+		w.Hotspots = append(w.Hotspots, trace.Hotspot{
+			ID:              trace.HotspotID(h),
+			Location:        geo.Point{X: float64(h), Y: 0},
+			ServiceCapacity: 50,
+			CacheCapacity:   20,
+		})
+	}
+	return w
+}
+
+// TestDriveOpenLoop drives a generated open-loop stream through a
+// two-frontend serving tier over real HTTP: every generated request is
+// accepted, every non-empty slot schedules, and both frontends see
+// ingest traffic.
+func TestDriveOpenLoop(t *testing.T) {
+	spec, err := loadgen.ParseSpec(`
+class steady clients=10 arrival=poisson rate=30 videos=zipf:1.0
+class bursty clients=5  arrival=gamma   rate=20 shape=0.5
+`)
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	world := openLoopWorld(8)
+	stream, err := spec.Generate(3, 4, 0.5, len(world.Hotspots), world.NumVideos)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if stream.Total == 0 {
+		t.Fatal("empty stream")
+	}
+
+	reg := obs.NewRegistry()
+	srv, err := server.New(server.Config{
+		World:      world,
+		Registry:   reg,
+		Instances:  2,
+		QueueBound: 1 << 20,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer srv.Close()
+
+	targets := make([]string, srv.NumInstances())
+	for i := range targets {
+		targets[i] = "http://" + srv.InstanceAddr(i)
+	}
+	report, err := loadgen.DriveOpenLoop(targets[0], stream, loadgen.Options{Workers: 4, Targets: targets})
+	if err != nil {
+		t.Fatalf("DriveOpenLoop: %v", err)
+	}
+	if report.Accepted != int64(stream.Total) || report.Rejected != 0 {
+		t.Fatalf("accepted %d rejected %d of %d generated", report.Accepted, report.Rejected, stream.Total)
+	}
+	for _, sr := range report.Slots {
+		if sr.Sent > 0 && !sr.Scheduled {
+			t.Errorf("slot %d: %d requests sent but not scheduled", sr.Slot, sr.Sent)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		epoch, digest := srv.InstanceEpochDigest(i)
+		if epoch == 0 || digest == "" {
+			t.Errorf("instance %d never installed a plan", i)
+		}
+	}
+	if reg.Counter("server.shard.0.lookups").Value() != 0 {
+		t.Error("driver should not have issued lookups")
+	}
+}

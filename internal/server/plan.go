@@ -151,3 +151,13 @@ type PlanRecord struct {
 
 // digestString renders a plan digest the way PlanRecord reports it.
 func digestString(d uint64) string { return fmt.Sprintf("%016x", d) }
+
+// appendDigest appends the same 16-hex-digit rendering without
+// formatting allocations (hot lookup path).
+func appendDigest(b []byte, d uint64) []byte {
+	const hexdigits = "0123456789abcdef"
+	for shift := 60; shift >= 0; shift -= 4 {
+		b = append(b, hexdigits[(d>>uint(shift))&0xf])
+	}
+	return b
+}

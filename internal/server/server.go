@@ -1,16 +1,33 @@
 // Package server is the online scheduling service: the deployable
 // counterpart of the offline trace-driven simulator. User requests
-// arrive continuously over HTTP/JSON and are aggregated per hotspot
-// into sharded, lock-striped demand accumulators with bounded queues
-// (overload answers 429, and accepted requests are never dropped); a
-// slot ticker snapshots the accumulated demand each timeslot, runs one
-// RBCAer round (core.ScheduleRound, including the deadline/degradation
-// path) on a dedicated worker, and publishes the result by atomically
-// swapping a double-buffered immutable plan — lookups never observe a
-// partially applied plan and keep serving the previous plan while the
-// next one is computed. Fed the same trace, the server produces plans
+// arrive continuously over HTTP/JSON at one or more frontend
+// instances and are aggregated per hotspot into lock-striped demand
+// accumulators with bounded queues (overload answers 429, and
+// accepted requests are never dropped); a slot ticker snapshots the
+// accumulated demand each timeslot, runs one RBCAer round
+// (core.ScheduleRound, including the deadline/degradation path) on a
+// dedicated worker, and publishes the result by atomically swapping a
+// double-buffered immutable plan — lookups never observe a partially
+// applied plan and keep serving the previous plan while the next one
+// is computed. Fed the same trace, the server produces plans
 // byte-identical to the offline simulator's (certified end to end in
 // e2e_test.go via core.Plan.Canonical).
+//
+// Multi-instance mode (Config.Instances > 1) scales the serving tier
+// out in-process: a consistent-hash ring (internal/server/ring)
+// shards hotspot ingestion across N frontend instances, each with its
+// own lock-striped accumulators and its own HTTP listener. A request
+// may arrive at any frontend; the ring routes its hotspot's
+// accumulation to the owning instance (cross-instance arrivals are
+// counted as forwards). Each slot merges every instance's drained
+// demand into the single scheduler round, and the resulting plan fans
+// out to every frontend over the plan-distribution channel: the
+// canonical plan bytes plus their digest. Every instance
+// independently re-parses the bytes, re-encodes them, and verifies
+// both digest and byte identity before swapping — a frontend either
+// serves the exact (epoch, digest) the scheduler published or loudly
+// rejects the swap (server.shard.<i>.plan_rejects) and keeps its
+// previous plan. See DESIGN.md §15.
 //
 // The package is dependency-free: stdlib net/http plus this
 // repository's internal packages.
@@ -19,36 +36,34 @@ package server
 import (
 	"context"
 	"encoding/hex"
-	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
-	"net"
 	"net/http"
-	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/obs"
+	"repro/internal/server/ring"
 	"repro/internal/trace"
 )
 
-// Server is one online scheduling service instance. Create it with
-// New, start it with Start, stop it with Close.
+// Server is one online scheduling service deployment: one scheduler
+// plus Config.Instances frontend instances. Create it with New, start
+// it with Start, stop it with Close.
 type Server struct {
 	cfg   Config
 	world *trace.World
 	index *geo.Grid
 	reg   *obs.Registry
 
-	shards []*demandShard
-
-	// current is the serving plan, swapped atomically by the recompute
-	// worker. Lookups only ever Load it.
-	current atomic.Pointer[servingPlan]
+	// ring owns the hotspot → instance ingestion mapping; instances
+	// are the frontends. allShards is every instance's stripes in
+	// instance order, drained together at each slot boundary.
+	ring      *ring.Ring
+	instances []*instance
+	allShards []*demandShard
 
 	// mu guards the snapshot queue, slot counter, plan history, and
 	// the closed flag.
@@ -74,8 +89,15 @@ type Server struct {
 	svcCaps   []int64
 	cacheCaps []int
 
-	httpSrv *http.Server
-	ln      net.Listener
+	// cached hot-path counters (a registry lookup per request would
+	// cost a map access under lock on the ingest fast path).
+	ingestAccepted  *obs.Counter
+	ingestRejected  *obs.Counter
+	lookupTotal     *obs.Counter
+	lookupCDN       *obs.Counter
+	lookupRedirect  *obs.Counter
+	lookupLocal     *obs.Counter
+	ingestMalformed *obs.Counter
 }
 
 // slotSnapshot is one timeslot's drained demand awaiting recomputation.
@@ -104,21 +126,34 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
+	rg, err := ring.New(cfg.Instances, 0)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
 	m := len(cfg.World.Hotspots)
 	s := &Server{
 		cfg:       cfg,
 		world:     cfg.World,
 		index:     index,
 		reg:       cfg.Registry,
-		shards:    make([]*demandShard, cfg.Shards),
+		ring:      rg,
 		kick:      make(chan struct{}, 1),
 		stop:      make(chan struct{}),
 		sched:     sched,
 		svcCaps:   make([]int64, m),
 		cacheCaps: make([]int, m),
 	}
-	for i := range s.shards {
-		s.shards[i] = &demandShard{}
+	s.ingestAccepted = s.reg.Counter("server.ingest.accepted")
+	s.ingestRejected = s.reg.Counter("server.ingest.rejected")
+	s.ingestMalformed = s.reg.Counter("server.ingest.malformed")
+	s.lookupTotal = s.reg.Counter("server.lookup.total")
+	s.lookupCDN = s.reg.Counter("server.lookup.cdn")
+	s.lookupRedirect = s.reg.Counter("server.lookup.redirected")
+	s.lookupLocal = s.reg.Counter("server.lookup.local")
+	for i := 0; i < cfg.Instances; i++ {
+		in := newInstance(s, i)
+		s.instances = append(s.instances, in)
+		s.allShards = append(s.allShards, in.shards...)
 	}
 	for h, hs := range cfg.World.Hotspots {
 		s.svcCaps[h] = hs.ServiceCapacity
@@ -127,22 +162,22 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Start begins listening on cfg.Addr and launches the recompute worker
-// and, when SlotDuration is set, the slot ticker.
+// Start launches the recompute worker, every frontend instance's HTTP
+// listener (instance 0 on cfg.Addr, the rest on ephemeral local
+// ports), and, when SlotDuration is set, the slot ticker.
 func (s *Server) Start() error {
-	ln, err := net.Listen("tcp", s.cfg.Addr)
-	if err != nil {
-		return fmt.Errorf("server: %w", err)
-	}
-	s.ln = ln
-	s.httpSrv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
-	s.wg.Add(1)
-	go func() {
-		defer s.wg.Done()
-		if err := s.httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			s.reg.Counter("server.http.errors").Inc()
+	for _, in := range s.instances {
+		addr := s.cfg.Addr
+		if in.id > 0 {
+			addr = "127.0.0.1:0"
 		}
-	}()
+		if err := in.listen(addr); err != nil {
+			for _, started := range s.instances[:in.id] {
+				started.shutdown(context.Background())
+			}
+			return err
+		}
+	}
 	s.wg.Add(1)
 	go s.recomputeLoop()
 	if s.cfg.SlotDuration > 0 {
@@ -152,18 +187,54 @@ func (s *Server) Start() error {
 	return nil
 }
 
-// Addr returns the address actually listened on (useful with port 0).
+// Addr returns the first frontend's listen address (useful with
+// port 0).
 func (s *Server) Addr() string {
-	if s.ln == nil {
-		return ""
-	}
-	return s.ln.Addr().String()
+	return s.InstanceAddr(0)
 }
 
-// Close shuts the server down gracefully: stop accepting requests
-// (bounded by DrainTimeout), flush still-accumulated demand through one
-// final scheduling round so no accepted request is silently dropped,
-// and wait for the ticker and worker to exit. Close is idempotent.
+// NumInstances returns the frontend instance count.
+func (s *Server) NumInstances() int { return len(s.instances) }
+
+// InstanceAddr returns frontend i's listen address ("" before Start).
+func (s *Server) InstanceAddr(i int) string {
+	in := s.instances[i]
+	if in.ln == nil {
+		return ""
+	}
+	return in.ln.Addr().String()
+}
+
+// InstanceAddrs returns every frontend's listen address.
+func (s *Server) InstanceAddrs() []string {
+	out := make([]string, len(s.instances))
+	for i := range s.instances {
+		out[i] = s.InstanceAddr(i)
+	}
+	return out
+}
+
+// InstanceHandler returns frontend i's HTTP API without a socket (for
+// tests and benchmarks).
+func (s *Server) InstanceHandler(i int) http.Handler {
+	return s.instances[i].handler()
+}
+
+// InstanceEpochDigest reports the (epoch, digest) frontend i is
+// currently serving (0, "" before the first swap).
+func (s *Server) InstanceEpochDigest(i int) (int64, string) {
+	sp := s.instances[i].current.Load()
+	if sp == nil {
+		return 0, ""
+	}
+	return sp.epoch, digestString(sp.digest)
+}
+
+// Close shuts the server down gracefully: stop accepting requests on
+// every frontend (bounded by DrainTimeout), flush still-accumulated
+// demand through one final scheduling round so no accepted request is
+// silently dropped, and wait for the ticker and worker to exit. Close
+// is idempotent.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -173,11 +244,13 @@ func (s *Server) Close() error {
 	s.closed = true
 	s.mu.Unlock()
 
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
 	var err error
-	if s.httpSrv != nil {
-		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
-		err = s.httpSrv.Shutdown(ctx)
-		cancel()
+	for _, in := range s.instances {
+		if e := in.shutdown(ctx); e != nil && err == nil {
+			err = e
+		}
 	}
 	// Final flush: anything accepted before shutdown still gets
 	// scheduled and recorded.
@@ -204,11 +277,12 @@ func (s *Server) tickLoop() {
 	}
 }
 
-// advance closes out the current timeslot: it drains the stripes into a
-// snapshot, enqueues it for the recompute worker, and returns the slot
-// number. An empty slot (nothing accepted) advances the slot counter
-// without queueing work. done, when non-nil, is closed once the
-// snapshot's plan is live (immediately for empty slots).
+// advance closes out the current timeslot: it drains every instance's
+// stripes into one merged snapshot, enqueues it for the recompute
+// worker, and returns the slot number. An empty slot (nothing
+// accepted) advances the slot counter without queueing work. done,
+// when non-nil, is closed once the snapshot's plan is live
+// (immediately for empty slots).
 //
 // After Close has marked the server closed, only Close's own final
 // flush (final=true) may still advance: a tick or AdvanceSlot racing
@@ -225,7 +299,7 @@ func (s *Server) advance(done chan struct{}, final bool) (slot int, ok bool) {
 	}
 	slot = s.slot
 	s.slot++
-	demand, n := drainDemand(s.shards, len(s.world.Hotspots))
+	demand, n := drainDemand(s.allShards, len(s.world.Hotspots))
 	s.reg.Counter("server.slots").Inc()
 	if demand == nil {
 		s.reg.Counter("server.slots.empty").Inc()
@@ -292,7 +366,8 @@ func (s *Server) AdvanceSlot(ctx context.Context) (int, PlanRecord, error) {
 
 // recomputeLoop is the single scheduling worker: it owns the core
 // scheduler (which is not safe for concurrent use) and processes
-// queued snapshots in order, swapping each resulting plan in atomically.
+// queued snapshots in order, fanning each resulting plan out to every
+// frontend.
 func (s *Server) recomputeLoop() {
 	defer s.wg.Done()
 	for {
@@ -322,10 +397,13 @@ func (s *Server) drainQueue() {
 	}
 }
 
-// runSlot runs one scheduling round and publishes the plan. The round
-// sees the same inputs the offline policy hands core.ScheduleRound —
-// nominal service and cache capacity rows, freshly copied — so a
-// replayed trace produces byte-identical plans (see e2e_test.go).
+// runSlot runs one scheduling round and distributes the plan to every
+// frontend. The round sees the same inputs the offline policy hands
+// core.ScheduleRound — nominal service and cache capacity rows,
+// freshly copied — so a replayed trace produces byte-identical plans
+// (see e2e_test.go). Distribution ships the canonical plan bytes plus
+// their digest; each instance independently decodes and verifies
+// before swapping (see instance.install).
 func (s *Server) runSlot(snap *slotSnapshot) {
 	defer func() {
 		for _, d := range snap.done {
@@ -349,8 +427,22 @@ func (s *Server) runSlot(snap *slotSnapshot) {
 	epoch := s.epoch
 	s.mu.Unlock()
 
-	sp := newServingPlan(epoch, snap.slot, snap.requests, plan, s.world.NumVideos)
-	s.current.Store(sp)
+	// Plan distribution: every frontend receives the same canonical
+	// bytes and digest, decodes its own serving plan from them, and
+	// verifies the round trip before swapping.
+	canonical := plan.Canonical()
+	digest := core.DigestOf(canonical)
+	for _, in := range s.instances {
+		if err := in.install(epoch, snap.slot, snap.requests, canonical, digest); err != nil {
+			s.reg.Counter("server.plan.rejects").Inc()
+			if s.cfg.Tracer != nil {
+				s.cfg.Tracer.Emit(obs.Event{Type: "swap-reject", Slot: snap.slot, Attrs: []obs.Attr{
+					obs.I("epoch", epoch),
+					obs.I("instance", int64(in.id)),
+				}})
+			}
+		}
+	}
 
 	s.reg.Counter("server.plan.swaps").Inc()
 	if plan.Degraded {
@@ -383,13 +475,13 @@ func (s *Server) runSlot(snap *slotSnapshot) {
 		Slot:      snap.slot,
 		Epoch:     epoch,
 		Requests:  snap.requests,
-		Digest:    digestString(sp.digest),
-		Canonical: hex.EncodeToString(sp.canonical),
-		Degraded:  sp.degraded,
-		Replicas:  sp.stats.Replicas,
-		Redirects: sp.redirects,
-		MovedFlow: sp.stats.MovedFlow,
-		Stranded:  sp.stats.StrandedToCDN,
+		Digest:    digestString(digest),
+		Canonical: hex.EncodeToString(canonical),
+		Degraded:  plan.Degraded,
+		Replicas:  plan.Stats.Replicas,
+		Redirects: len(plan.Redirects),
+		MovedFlow: plan.Stats.MovedFlow,
+		Stranded:  plan.Stats.StrandedToCDN,
 	}
 	s.mu.Lock()
 	s.history = append(s.history, rec)
@@ -408,7 +500,7 @@ func (s *Server) Plans() []PlanRecord {
 	return out
 }
 
-// Handler returns the server's HTTP API:
+// Handler returns the first frontend's HTTP API:
 //
 //	POST /ingest         accept one request ({"user","video","x","y"}
 //	                     or {"user","video","hotspot"}) — 202 accepted,
@@ -416,121 +508,19 @@ func (s *Server) Plans() []PlanRecord {
 //	GET  /redirect       ?video=V&hotspot=H → serving target for one
 //	                     request aggregated at H ({"target":-1} = CDN)
 //	GET  /plans          retained per-slot plan records (canonical bytes)
-//	GET  /healthz        liveness + slot/epoch counters
+//	GET  /healthz        liveness + slot/epoch counters + this
+//	                     frontend's serving (epoch, digest)
 //	POST /admin/advance  force a slot boundary; returns the new record
 //
+// Every frontend instance serves the same API (see InstanceHandler).
 // It is exported so tests and benchmarks can drive the mux without a
 // socket.
 func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /ingest", s.handleIngest)
-	mux.HandleFunc("GET /redirect", s.handleRedirect)
-	mux.HandleFunc("GET /plans", s.handlePlans)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("POST /admin/advance", s.handleAdvance)
-	return mux
-}
-
-// writeJSON writes one JSON response.
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-// errorBody is the JSON error envelope.
-type errorBody struct {
-	Error string `json:"error"`
-}
-
-func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
-	if err != nil {
-		var mbe *http.MaxBytesError
-		if errors.As(err, &mbe) {
-			s.reg.Counter("server.ingest.oversized").Inc()
-			writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{Error: "body too large"})
-			return
-		}
-		s.reg.Counter("server.ingest.malformed").Inc()
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "reading body"})
-		return
-	}
-	req, err := decodeIngest(body)
-	if err != nil {
-		s.reg.Counter("server.ingest.malformed").Inc()
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
-		return
-	}
-	h, v, err := resolveIngest(s.world, s.index, req)
-	if err != nil {
-		s.reg.Counter("server.ingest.malformed").Inc()
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
-		return
-	}
-	sh := s.shards[h%len(s.shards)]
-	if !sh.add(trace.HotspotID(h), v, int64(s.cfg.QueueBound)) {
-		// Backpressure: the stripe is at its bound until the next slot
-		// snapshot drains it. The rejection is visible (429 + counter),
-		// never a silent drop.
-		s.reg.Counter("server.ingest.rejected").Inc()
-		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "ingest queue full, retry next slot"})
-		return
-	}
-	s.reg.Counter("server.ingest.accepted").Inc()
-	writeJSON(w, http.StatusAccepted, map[string]int{"hotspot": h})
-}
-
-func (s *Server) handleRedirect(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	video, err := strconv.Atoi(q.Get("video"))
-	if err != nil || video < 0 || video >= s.world.NumVideos {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "video outside the catalogue"})
-		return
-	}
-	hotspot, err := strconv.Atoi(q.Get("hotspot"))
-	if err != nil || hotspot < 0 || hotspot >= len(s.world.Hotspots) {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "hotspot outside the fleet"})
-		return
-	}
-	sp := s.current.Load()
-	res := sp.lookup(hotspot, video)
-	s.reg.Counter("server.lookup.total").Inc()
-	switch {
-	case res.target == CDN:
-		s.reg.Counter("server.lookup.cdn").Inc()
-	case res.redirected:
-		s.reg.Counter("server.lookup.redirected").Inc()
-	default:
-		s.reg.Counter("server.lookup.local").Inc()
-	}
-	resp := map[string]any{"target": res.target}
-	if sp != nil {
-		resp["epoch"] = sp.epoch
-		resp["slot"] = sp.slot
-		resp["digest"] = digestString(sp.digest)
-	}
-	writeJSON(w, http.StatusOK, resp)
+	return s.instances[0].handler()
 }
 
 func (s *Server) handlePlans(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.Plans())
-}
-
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	slot, epoch := s.slot, s.epoch
-	s.mu.Unlock()
-	mode := "full"
-	if s.cfg.Params.DeltaThreshold > 0 {
-		mode = "delta"
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status": "ok",
-		"slot":   slot,
-		"epoch":  epoch,
-		"mode":   mode,
-	})
 }
 
 func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {

@@ -54,6 +54,9 @@ func TestConfigValidate(t *testing.T) {
 		{"explicit params", Config{World: world, Params: core.DefaultParams()}, true},
 		{"invalid params", Config{World: world, Params: core.Params{Theta1: -1, Theta2: 1, DeltaD: 0.5}}, false},
 		{"addr", Config{World: world, Addr: "127.0.0.1:0"}, true},
+		{"instances", Config{World: world, Instances: 4}, true},
+		{"negative instances", Config{World: world, Instances: -1}, false},
+		{"instances above cap", Config{World: world, Instances: maxInstances + 1}, false},
 		{"shards", Config{World: world, Shards: 4}, true},
 		{"negative shards", Config{World: world, Shards: -1}, false},
 		{"shards above cap", Config{World: world, Shards: maxShards + 1}, false},
@@ -167,7 +170,7 @@ func TestBackpressure(t *testing.T) {
 	if got := reg.Counter("server.ingest.rejected").Value(); got != 2 {
 		t.Errorf("rejected counter = %d, want 2", got)
 	}
-	demand, n := drainDemand(s.shards, 2)
+	demand, n := drainDemand(s.instances[0].shards, 2)
 	if n != 3 || demand.Totals[0] != 3 {
 		t.Fatalf("drained %d requests (hotspot0 %d), want 3 accepted", n, demand.Totals[0])
 	}
@@ -258,7 +261,7 @@ func TestManualSlotLifecycle(t *testing.T) {
 	if slot != 1 || rec.Epoch != 1 || rec.Requests != 12 {
 		t.Fatalf("advance = (%d, %+v), want slot 1 epoch 1 requests 12", slot, rec)
 	}
-	sp := s.current.Load()
+	sp := s.instances[0].current.Load()
 	if sp == nil || sp.slot != 1 {
 		t.Fatalf("serving plan %+v, want slot 1", sp)
 	}
@@ -497,12 +500,12 @@ func TestTimedSlots(t *testing.T) {
 	}
 	deadline := time.Now().Add(2 * time.Second)
 	for time.Now().Before(deadline) {
-		if s.current.Load() != nil {
+		if s.instances[0].current.Load() != nil {
 			break
 		}
 		time.Sleep(time.Millisecond)
 	}
-	if s.current.Load() == nil {
+	if s.instances[0].current.Load() == nil {
 		t.Fatalf("ticker never swapped a plan in")
 	}
 	if err := s.Close(); err != nil {

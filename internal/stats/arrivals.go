@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Continuous samplers backing the open-loop load generator's
+// inter-arrival draws (internal/server/loadgen). All take the caller's
+// rng so callers control determinism via SplitRand streams; parameters
+// are the caller's contract (shape/scale/rate must be positive and
+// finite — the loadgen spec parser validates before sampling).
+
+// SampleExp draws Exp(rate): mean 1/rate. The Poisson process's
+// inter-arrival time.
+func SampleExp(rng *rand.Rand, rate float64) float64 {
+	return rng.ExpFloat64() / rate
+}
+
+// SampleGamma draws Gamma(shape, scale) (mean shape·scale) using
+// Marsaglia–Tsang squeeze rejection, with the standard U^(1/shape)
+// boost for shape < 1.
+func SampleGamma(rng *rand.Rand, shape, scale float64) float64 {
+	if shape < 1 {
+		// Gamma(a) = Gamma(a+1) · U^(1/a).
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return SampleGamma(rng, shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * scale
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * scale
+		}
+	}
+}
+
+// SampleWeibull draws Weibull(shape, scale) (mean scale·Γ(1+1/shape))
+// by inversion.
+func SampleWeibull(rng *rand.Rand, shape, scale float64) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return scale * math.Pow(-math.Log(u), 1/shape)
+}

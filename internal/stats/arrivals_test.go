@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// sampleMean draws n values and returns their mean.
+func sampleMean(n int, draw func() float64) float64 {
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += draw()
+	}
+	return sum / float64(n)
+}
+
+// TestSamplerMeans checks each sampler's empirical mean against the
+// analytical one (large n, loose tolerance — these are smoke bounds,
+// not distribution tests).
+func TestSamplerMeans(t *testing.T) {
+	const n = 200_000
+	rng := SplitRand(1, "arrivals/exp")
+	if got := sampleMean(n, func() float64 { return SampleExp(rng, 2) }); math.Abs(got-0.5) > 0.01 {
+		t.Errorf("Exp(2) mean %v, want 0.5", got)
+	}
+	rng = SplitRand(1, "arrivals/gamma")
+	if got := sampleMean(n, func() float64 { return SampleGamma(rng, 3, 0.25) }); math.Abs(got-0.75) > 0.01 {
+		t.Errorf("Gamma(3, 0.25) mean %v, want 0.75", got)
+	}
+	rng = SplitRand(1, "arrivals/gamma-sub1")
+	if got := sampleMean(n, func() float64 { return SampleGamma(rng, 0.5, 2) }); math.Abs(got-1.0) > 0.02 {
+		t.Errorf("Gamma(0.5, 2) mean %v, want 1", got)
+	}
+	rng = SplitRand(1, "arrivals/weibull")
+	want := 2 * math.Gamma(1+1.0/1.5)
+	if got := sampleMean(n, func() float64 { return SampleWeibull(rng, 1.5, 2) }); math.Abs(got-want) > 0.02 {
+		t.Errorf("Weibull(1.5, 2) mean %v, want %v", got, want)
+	}
+}
+
+// TestSamplersPositive: inter-arrival gaps must be strictly positive
+// and finite, whatever the rng produces.
+func TestSamplersPositive(t *testing.T) {
+	rng := SplitRand(7, "arrivals/positive")
+	for i := 0; i < 100_000; i++ {
+		for _, v := range []float64{
+			SampleExp(rng, 10),
+			SampleGamma(rng, 0.3, 1),
+			SampleGamma(rng, 4, 1),
+			SampleWeibull(rng, 0.7, 1),
+		} {
+			if !(v > 0) || math.IsInf(v, 0) || math.IsNaN(v) {
+				t.Fatalf("draw %d: non-positive or non-finite sample %v", i, v)
+			}
+		}
+	}
+}
+
+// TestSamplersDeterministic: the same SplitRand stream reproduces the
+// same draws byte for byte.
+func TestSamplersDeterministic(t *testing.T) {
+	draw := func() []float64 {
+		rng := SplitRand(42, "arrivals/det")
+		out := make([]float64, 0, 300)
+		for i := 0; i < 100; i++ {
+			out = append(out,
+				SampleExp(rng, 3),
+				SampleGamma(rng, 2.5, 0.4),
+				SampleWeibull(rng, 1.2, 0.8))
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
