@@ -1,6 +1,6 @@
 // Command cdnbench runs the repository's headline performance
 // benchmarks programmatically and records the results as a JSON
-// artifact (BENCH_8.json by default) so CI can track ns/op, B/op, and
+// artifact (BENCH_9.json by default) so CI can track ns/op, B/op, and
 // allocs/op regressions across commits. The workload is fixed-seed and
 // matches the root bench_test.go configuration, so numbers are
 // comparable with `go test -bench=BenchmarkSchedule -benchmem .`. The
@@ -41,6 +41,7 @@ import (
 	"repro/internal/similarity"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 // benchResult is one benchmark line of the JSON artifact. The replay
@@ -275,7 +276,90 @@ func benchmarks(quick bool) ([]namedBench, error) {
 	if err != nil {
 		return nil, err
 	}
-	return append(out, serverBenches...), nil
+	out = append(out, serverBenches...)
+	return append(out, walBenches()...), nil
+}
+
+// walBenches measures the durability subsystem: one append + group
+// commit under each fsync policy, and a full recovery replay (scan,
+// CRC-verify, rebuild) of a 20k-record multi-segment log.
+func walBenches() []namedBench {
+	var out []namedBench
+	for _, policy := range []wal.Policy{wal.PolicyAlways, wal.PolicyInterval, wal.PolicyNone} {
+		policy := policy
+		out = append(out, namedBench{name: "WALAppend/policy=" + policy.String(), fn: func(b *testing.B) {
+			l, _, err := wal.Open(b.TempDir(), wal.Options{Policy: policy})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lsn, err := l.AppendIngest(i>>10, 0, uint64(i+1), i%64, i%512, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := l.Sync(lsn); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}})
+	}
+	out = append(out, namedBench{name: "WALRecoveryReplay", fn: func(b *testing.B) {
+		dir := b.TempDir()
+		l, _, err := wal.Open(dir, wal.Options{Policy: wal.PolicyNone})
+		if err != nil {
+			b.Fatal(err)
+		}
+		set := func(vs ...int) similarity.Set {
+			s := make(similarity.Set, len(vs))
+			for _, v := range vs {
+				s.Add(v)
+			}
+			return s
+		}
+		plan := &core.Plan{
+			Flows:         []core.FlowEdge{{From: 0, To: 1, Amount: 10}},
+			Redirects:     []core.Redirect{{From: 1, To: 0, Video: 2, Count: 7}},
+			Placement:     []similarity.Set{set(1, 2), set(0)},
+			OverflowToCDN: []int64{0, 7},
+		}
+		canonical := plan.Canonical()
+		digest := core.DigestOf(canonical)
+		const records = 20000
+		for i := 0; i < records; i++ {
+			if i%2000 == 1999 {
+				slot := i / 2000
+				if _, err := l.AppendAdvance(slot); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := l.AppendPlan(slot, int64(slot+1), digest, canonical); err != nil {
+					b.Fatal(err)
+				}
+				continue
+			}
+			if _, err := l.AppendIngest(i/2000, i%4, uint64(i/4+1), i%64, i%512, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := l.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			l2, st, err := wal.Open(dir, wal.Options{Policy: wal.PolicyNone})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if want := records + records/2000; st.Records != want {
+				b.Fatalf("recovered %d records, want %d", st.Records, want)
+			}
+			l2.Close()
+		}
+	}})
+	return out
 }
 
 // onlineBenches measures the online service's two hot paths — POST
@@ -602,7 +686,7 @@ func writeResults(path string, results []benchResult) error {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_8.json", "path of the JSON benchmark artifact")
+	out := flag.String("out", "BENCH_9.json", "path of the JSON benchmark artifact")
 	quick := flag.Bool("quick", false, "shrink the schedule workload for smoke runs")
 	only := flag.String("run", "", "run only benchmarks whose name contains this substring")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")

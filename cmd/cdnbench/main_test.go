@@ -110,6 +110,10 @@ func TestBenchmarkSuiteShape(t *testing.T) {
 		"ServerIngest",
 		"ServerIngestParallel",
 		"ServerLookup",
+		"WALAppend/policy=always",
+		"WALAppend/policy=interval",
+		"WALAppend/policy=none",
+		"WALRecoveryReplay",
 	}
 	if len(benches) != len(want) {
 		t.Fatalf("suite has %d benchmarks, want %d", len(benches), len(want))

@@ -23,12 +23,25 @@
 //	-history N        per-slot plan records retained for GET /plans
 //	-drain DUR        graceful-shutdown drain timeout
 //	-seed N           world-generation seed (no -world only)
+//	-wal-dir DIR      durable serving state: write-ahead-log every
+//	                  accepted ingest and slot boundary into DIR and
+//	                  recover from the newest checkpoint + WAL suffix
+//	                  on boot (empty = volatile, the default)
+//	-fsync POLICY     WAL fsync policy: always (group commit, the
+//	                  default), interval, or none (-wal-dir only)
+//	-checkpoint-every N
+//	                  write a checkpoint every N slot boundaries
+//	                  (-wal-dir only; 0 = default)
 //	-smoke            boot on an ephemeral port, replay a generated
 //	                  trace through the server over real HTTP (plus an
 //	                  open-loop generated workload when -instances > 1,
 //	                  spread across every frontend), verify every slot
 //	                  scheduled and every frontend serves the same
-//	                  (epoch, digest), shut down cleanly, exit
+//	                  (epoch, digest), shut down cleanly, exit. With
+//	                  -wal-dir the smoke instead kills the tier abruptly
+//	                  mid-slot, restarts it from disk, and requires every
+//	                  plan to match an uninterrupted offline simulation
+//	                  byte for byte
 //	-delta            incremental delta scheduling: warm-start each
 //	                  slot from the previous one's solution (plans stay
 //	                  digest-identical to full solves)
@@ -39,9 +52,14 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/hex"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -69,6 +87,9 @@ func run(args []string) error {
 	history := fs.Int("history", 0, "plan records retained (0 = default)")
 	drain := fs.Duration("drain", 0, "graceful-shutdown drain timeout (0 = default)")
 	seed := fs.Int64("seed", 1, "world-generation seed")
+	walDir := fs.String("wal-dir", "", "write-ahead-log directory for durable serving state (empty = volatile)")
+	fsync := fs.String("fsync", "", "WAL fsync policy: always, interval, or none (-wal-dir only)")
+	ckptEvery := fs.Int("checkpoint-every", 0, "checkpoint every N slot boundaries (-wal-dir only; 0 = default)")
 	smoke := fs.Bool("smoke", false, "end-to-end smoke: boot, replay a generated trace, exit")
 	delta := fs.Bool("delta", false, "incremental delta scheduling (warm-started rounds, periodic full re-solve)")
 	deltaEvery := fs.Int("delta-every", 16, "with -delta: force a full re-solve every N slots (0 = never)")
@@ -80,6 +101,9 @@ func run(args []string) error {
 		params = crowdcdn.DeltaParams(*deltaEvery)
 	}
 	if *smoke {
+		if *walDir != "" {
+			return runCrashSmoke(*seed, params, *instances, *walDir, *fsync, *ckptEvery)
+		}
 		return runSmoke(*seed, params, *instances)
 	}
 
@@ -97,19 +121,26 @@ func run(args []string) error {
 	}
 
 	srv, err := crowdcdn.NewServer(crowdcdn.ServerConfig{
-		World:        world,
-		Params:       params,
-		Addr:         *addr,
-		Instances:    *instances,
-		Shards:       *shards,
-		QueueBound:   *queue,
-		SlotDuration: *slot,
-		PlanHistory:  *history,
-		DrainTimeout: *drain,
-		Registry:     reg,
+		World:           world,
+		Params:          params,
+		Addr:            *addr,
+		Instances:       *instances,
+		Shards:          *shards,
+		QueueBound:      *queue,
+		SlotDuration:    *slot,
+		PlanHistory:     *history,
+		DrainTimeout:    *drain,
+		Registry:        reg,
+		WALDir:          *walDir,
+		Fsync:           *fsync,
+		CheckpointEvery: *ckptEvery,
 	})
 	if err != nil {
 		return err
+	}
+	if st := srv.WALState(); st != nil {
+		fmt.Fprintf(os.Stderr, "cdnserver: recovered slot %d from %s (%d WAL records, %d torn bytes truncated)\n",
+			st.Slot, *walDir, st.Records, st.TruncatedBytes)
 	}
 	if err := srv.Start(); err != nil {
 		return err
@@ -243,6 +274,164 @@ func runSmoke(seed int64, params crowdcdn.Params, instances int) error {
 	}
 	fmt.Printf("smoke ok: %d trace + %d open-loop requests over %d frontends, %d plans\n",
 		report.Accepted, open.Accepted, srv.NumInstances(), len(srv.Plans()))
+	return nil
+}
+
+// runCrashSmoke is the durability end-to-end check: drive a generated
+// trace through a WAL-backed serving tier over real HTTP, kill the
+// process state abruptly mid-slot (no flush, no graceful drain),
+// restart from the on-disk log, finish the trace, and require every
+// slot's plan to be byte-identical to an uninterrupted offline
+// simulation of the same trace. The trace is driven slot by slot with
+// explicit posts (not the replay harness) so the kill lands at an
+// exact request boundary.
+func runCrashSmoke(seed int64, params crowdcdn.Params, instances int, walDir, fsync string, ckptEvery int) error {
+	world, tr, err := crowdcdn.Generate(smokeConfig(seed))
+	if err != nil {
+		return err
+	}
+	simParams := params
+	if simParams == (crowdcdn.Params{}) {
+		simParams = crowdcdn.DefaultParams()
+	}
+	offline := make(map[int]string)
+	if _, err := crowdcdn.Simulate(world, tr, crowdcdn.NewRBCAer(simParams), crowdcdn.SimOptions{
+		PlanSink: func(slot int, plan *crowdcdn.Plan) {
+			offline[slot] = hex.EncodeToString(plan.Canonical())
+		},
+	}); err != nil {
+		return fmt.Errorf("offline sim: %w", err)
+	}
+
+	if instances <= 0 {
+		// Recovery must rebuild the whole fleet's state, so the crash
+		// smoke defaults to a real multi-frontend tier.
+		instances = 3
+	}
+	boot := func() (*crowdcdn.Server, error) {
+		srv, err := crowdcdn.NewServer(crowdcdn.ServerConfig{
+			World:           world,
+			Params:          params,
+			Instances:       instances,
+			Registry:        crowdcdn.NewMetricsRegistry(),
+			PlanHistory:     tr.Slots + 1,
+			QueueBound:      1 << 26,
+			WALDir:          walDir,
+			Fsync:           fsync,
+			CheckpointEvery: ckptEvery,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := srv.Start(); err != nil {
+			return nil, err
+		}
+		return srv, nil
+	}
+	post := func(srv *crowdcdn.Server, i int, r crowdcdn.Request) error {
+		body, err := json.Marshal(map[string]any{
+			"user": int64(r.User), "video": int64(r.Video),
+			"x": r.Location.X, "y": r.Location.Y,
+		})
+		if err != nil {
+			return err
+		}
+		addr := srv.InstanceAddr(i % srv.NumInstances())
+		resp, err := http.Post("http://"+addr+"/ingest", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("ingest: %w", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			return fmt.Errorf("ingest status %d", resp.StatusCode)
+		}
+		return nil
+	}
+	advance := func(srv *crowdcdn.Server, online map[int]string) error {
+		resp, err := http.Post("http://"+srv.Addr()+"/admin/advance", "application/json", nil)
+		if err != nil {
+			return fmt.Errorf("advance: %w", err)
+		}
+		defer resp.Body.Close()
+		var adv struct {
+			Slot      int  `json:"slot"`
+			Scheduled bool `json:"scheduled"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&adv); err != nil {
+			return fmt.Errorf("advance decode: %w", err)
+		}
+		if !adv.Scheduled {
+			return fmt.Errorf("slot %d did not schedule", adv.Slot)
+		}
+		for _, rec := range srv.Plans() {
+			if rec.Slot == adv.Slot {
+				online[adv.Slot] = rec.Canonical
+			}
+		}
+		return nil
+	}
+
+	srv, err := boot()
+	if err != nil {
+		return err
+	}
+	online := make(map[int]string)
+	crashSlot := tr.Slots / 2
+	for slot, reqs := range tr.BySlot() {
+		if slot == crashSlot {
+			// Half the slot's requests become durable, then the tier
+			// dies abruptly: no WAL flush, no graceful shutdown.
+			for i, r := range reqs[:len(reqs)/2] {
+				if err := post(srv, i, r); err != nil {
+					return err
+				}
+			}
+			srv.Kill()
+			// The default client still pools conns to the dead tier;
+			// drop them so they cannot be resurrected against whatever
+			// binds those ports next, or stall a later Shutdown.
+			http.DefaultClient.CloseIdleConnections()
+			fmt.Printf("killed tier mid-slot %d after %d/%d requests\n", slot, len(reqs)/2, len(reqs))
+			if srv, err = boot(); err != nil {
+				return fmt.Errorf("restart: %w", err)
+			}
+			st := srv.WALState()
+			if st == nil || st.Records == 0 {
+				return fmt.Errorf("restart recovered no WAL records")
+			}
+			if st.Slot != crashSlot {
+				return fmt.Errorf("restart recovered slot %d, want %d", st.Slot, crashSlot)
+			}
+			fmt.Printf("restarted from %s: slot %d, %d records replayed, %d torn bytes truncated\n",
+				walDir, st.Slot, st.Records, st.TruncatedBytes)
+			reqs = reqs[len(reqs)/2:]
+		}
+		for i, r := range reqs {
+			if err := post(srv, i, r); err != nil {
+				return err
+			}
+		}
+		if err := advance(srv, online); err != nil {
+			return err
+		}
+		fmt.Printf("slot %d: scheduled after %d requests\n", slot, len(reqs))
+	}
+	http.DefaultClient.CloseIdleConnections()
+	if err := srv.Close(); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+
+	if len(online) != len(offline) {
+		return fmt.Errorf("online scheduled %d slots, offline %d", len(online), len(offline))
+	}
+	for slot, want := range offline {
+		if online[slot] != want {
+			return fmt.Errorf("slot %d: plan after kill/restart differs from offline simulation", slot)
+		}
+	}
+	fmt.Printf("crash smoke ok: %d slots byte-identical to offline after kill/restart at slot %d\n",
+		len(online), crashSlot)
 	return nil
 }
 

@@ -74,3 +74,30 @@ func TestLoadWorldFromFile(t *testing.T) {
 			len(got.Hotspots), got.NumVideos, len(world.Hotspots), world.NumVideos)
 	}
 }
+
+// TestCrashSmoke runs the -smoke -wal-dir path: kill the tier abruptly
+// mid-slot, restart from the on-disk WAL, and require byte-identity
+// with the offline simulation.
+func TestCrashSmoke(t *testing.T) {
+	args := []string{"-smoke", "-wal-dir", t.TempDir(), "-fsync", "always", "-checkpoint-every", "2", "-seed", "4"}
+	if err := run(args); err != nil {
+		t.Fatalf("run -smoke -wal-dir: %v", err)
+	}
+}
+
+// TestSmokeDelta mirrors the CI delta-scheduling smoke step: the same
+// replay with incremental rounds, plans digest-identical slot by slot.
+func TestSmokeDelta(t *testing.T) {
+	if err := run([]string{"-smoke", "-delta", "-seed", "3"}); err != nil {
+		t.Fatalf("run -smoke -delta: %v", err)
+	}
+}
+
+// TestSmokeMultiInstance mirrors the CI multi-instance smoke step:
+// ring-sharded ingestion across three frontends plus the open-loop
+// phase.
+func TestSmokeMultiInstance(t *testing.T) {
+	if err := run([]string{"-smoke", "-instances", "3", "-seed", "3"}); err != nil {
+		t.Fatalf("run -smoke -instances 3: %v", err)
+	}
+}

@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// TestRun executes the example end to end, keeping the walkthrough
+// compiling and correct as the library evolves.
+func TestRun(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

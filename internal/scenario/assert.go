@@ -197,6 +197,9 @@ func (a Assertion) compareBool(v bool) bool {
 // (sim vocabulary first, then the snapshot's counters) and compares.
 func (a Assertion) evalRun(m *sim.Metrics, snap obs.Snapshot) (value float64, pass bool, err error) {
 	if fn, ok := runIdents[a.Ident]; ok {
+		if m == nil {
+			return 0, false, fmt.Errorf("run metric %q is not available in serve mode (assert a dotted counter like serve.plans_mismatched instead)", a.Ident)
+		}
 		v := fn(m)
 		return v, a.compare(v), nil
 	}

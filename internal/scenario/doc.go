@@ -83,6 +83,21 @@ type RunSpec struct {
 	// ShardCellKm grid-partitions the world into shards of this cell
 	// size in km (rbcaer only). Mutually exclusive with Shards.
 	ShardCellKm float64
+	// Serve drives the trace through a real WAL-backed serving tier
+	// (internal/server) over HTTP instead of the offline simulator and
+	// requires every slot's plan to be byte-identical to an offline
+	// run; crash events kill the tier abruptly mid-slot and restart it
+	// from disk (rbcaer only; no fault events, stress, churn, sharding,
+	// or slot assertions).
+	Serve bool
+	// Instances is the serve-mode frontend count (0 = 2).
+	Instances int
+	// Fsync is the serve-mode WAL fsync policy: always, interval, or
+	// none ("" = always).
+	Fsync string
+	// CheckpointEvery writes a serve-mode checkpoint every N slot
+	// boundaries (0 = the server default).
+	CheckpointEvery int
 }
 
 // EventKind discriminates timed scenario events.
@@ -103,6 +118,9 @@ const (
 	// EventTheta switches RBCAer's θ-sweep parameters from a slot
 	// onward.
 	EventTheta
+	// EventCrash kills the serve-mode tier abruptly mid-slot and
+	// restarts it from the write-ahead log (run.serve only).
+	EventCrash
 )
 
 // String implements fmt.Stringer.
@@ -120,6 +138,8 @@ func (k EventKind) String() string {
 		return "stale_reports"
 	case EventTheta:
 		return "theta"
+	case EventCrash:
+		return "crash"
 	default:
 		return fmt.Sprintf("event(%d)", int(k))
 	}
@@ -244,19 +264,23 @@ func (doc *Doc) decodeRun(n *node) error {
 		return err
 	}
 	doc.Spec = RunSpec{
-		Scheme:         d.str("scheme", ""),
-		Seed:           d.int64Of("seed", 0),
-		Churn:          d.float("churn", 0),
-		RadiusKm:       d.float("radius_km", 0),
-		Delta:          d.boolean("delta", false),
-		DeltaEvery:     d.integer("delta_every", 16),
-		DeltaThreshold: d.float("delta_threshold", 0),
-		DeltaVerify:    d.boolean("delta_verify", false),
-		CapacityFrac:   d.float("capacity_frac", 0),
-		CacheFrac:      d.float("cache_frac", 0),
-		FailFast:       d.boolean("fail_fast", false),
-		Shards:         d.integer("shards", 0),
-		ShardCellKm:    d.float("shard_cell_km", 0),
+		Scheme:          d.str("scheme", ""),
+		Seed:            d.int64Of("seed", 0),
+		Churn:           d.float("churn", 0),
+		RadiusKm:        d.float("radius_km", 0),
+		Delta:           d.boolean("delta", false),
+		DeltaEvery:      d.integer("delta_every", 16),
+		DeltaThreshold:  d.float("delta_threshold", 0),
+		DeltaVerify:     d.boolean("delta_verify", false),
+		CapacityFrac:    d.float("capacity_frac", 0),
+		CacheFrac:       d.float("cache_frac", 0),
+		FailFast:        d.boolean("fail_fast", false),
+		Shards:          d.integer("shards", 0),
+		ShardCellKm:     d.float("shard_cell_km", 0),
+		Serve:           d.boolean("serve", false),
+		Instances:       d.integer("instances", 0),
+		Fsync:           d.str("fsync", ""),
+		CheckpointEvery: d.integer("checkpoint_every", 0),
 	}
 	return d.finish()
 }
@@ -366,10 +390,12 @@ func (doc *Doc) decodeEvents(n *node) error {
 				Theta2: d.float("theta2", -1),
 				DeltaD: d.float("delta_d", -1),
 			}
+		case "crash":
+			ev = Event{Kind: EventCrash, At: parseAt(d)}
 		case "":
 			d.fail("line %d: %s: missing \"action\"", item.line, ctx)
 		default:
-			d.fail("line %d: %s: unknown action %q (want churn, regional_outage, degrade_capacity, flash_crowd, stale_reports, or theta)",
+			d.fail("line %d: %s: unknown action %q (want churn, regional_outage, degrade_capacity, flash_crowd, stale_reports, theta, or crash)",
 				item.line, ctx, action)
 		}
 		if err := d.finish(); err != nil {
@@ -464,6 +490,9 @@ func (doc *Doc) validate() error {
 		doc.Spec.Scheme != "" && doc.Spec.Scheme != "rbcaer" {
 		return fmt.Errorf("scenario: sharding requires run.scheme rbcaer, got %q", doc.Spec.Scheme)
 	}
+	if err := doc.validateServe(); err != nil {
+		return err
+	}
 	var churnEvents, staleEvents int
 	thetaAt := -1
 	for i, ev := range doc.Events {
@@ -508,6 +537,66 @@ func (doc *Doc) validate() error {
 	}
 	if doc.Spec.DeltaThreshold > 0 && !doc.Spec.Delta {
 		return fmt.Errorf("scenario: run.delta_threshold needs run.delta: true")
+	}
+	return nil
+}
+
+// validateServe cross-checks serve mode: a serve run drives a real
+// durable serving tier, so only crash events apply, and the simulator's
+// fault/stress machinery (and its per-slot metrics) is unavailable.
+func (doc *Doc) validateServe() error {
+	if !doc.Spec.Serve {
+		if doc.Spec.Instances != 0 || doc.Spec.Fsync != "" || doc.Spec.CheckpointEvery != 0 {
+			return fmt.Errorf("scenario: run.instances/fsync/checkpoint_every need run.serve: true")
+		}
+		for i, ev := range doc.Events {
+			if ev.Kind == EventCrash {
+				return fmt.Errorf("scenario: events[%d]: crash needs run.serve: true", i)
+			}
+		}
+		return nil
+	}
+	if doc.Spec.Scheme != "" && doc.Spec.Scheme != "rbcaer" {
+		return fmt.Errorf("scenario: run.serve requires run.scheme rbcaer, got %q", doc.Spec.Scheme)
+	}
+	if doc.Spec.Delta {
+		return fmt.Errorf("scenario: run.serve does not support delta mode")
+	}
+	if doc.Spec.Shards > 0 || doc.Spec.ShardCellKm > 0 {
+		return fmt.Errorf("scenario: run.serve does not support sharded scheduling")
+	}
+	if doc.Spec.Churn != 0 {
+		return fmt.Errorf("scenario: run.serve does not support churn (the serving tier has no fault injection)")
+	}
+	if doc.Stress != nil {
+		return fmt.Errorf("scenario: run.serve does not support the stress section")
+	}
+	if len(doc.SlotAsserts) > 0 {
+		return fmt.Errorf("scenario: run.serve does not support assert_slot (serve runs have no per-slot sim metrics)")
+	}
+	if doc.Spec.Instances < 0 {
+		return fmt.Errorf("scenario: run.instances %d negative", doc.Spec.Instances)
+	}
+	if doc.Spec.CheckpointEvery < 0 {
+		return fmt.Errorf("scenario: run.checkpoint_every %d negative", doc.Spec.CheckpointEvery)
+	}
+	switch doc.Spec.Fsync {
+	case "", "always", "interval", "none":
+	default:
+		return fmt.Errorf("scenario: run.fsync %q (want always, interval, or none)", doc.Spec.Fsync)
+	}
+	prev := 0
+	for i, ev := range doc.Events {
+		if ev.Kind != EventCrash {
+			return fmt.Errorf("scenario: events[%d]: serve mode supports only crash events, got %s", i, ev.Kind)
+		}
+		if ev.At < 1 {
+			return fmt.Errorf("scenario: events[%d]: crash.at must be >= 1", i)
+		}
+		if ev.At <= prev {
+			return fmt.Errorf("scenario: events[%d]: crash events must have strictly increasing \"at\" slots", i)
+		}
+		prev = ev.At
 	}
 	return nil
 }

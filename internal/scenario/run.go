@@ -71,6 +71,16 @@ type Report struct {
 	StressCount int
 	FaultCounts fault.CauseCounts
 
+	// Serve-mode outcome (run.serve: true). Metrics is nil for serve
+	// runs; the byte-identity verdict lives in PlansMatched /
+	// PlansMismatched and the serve.* counters of Snapshot.
+	Serve           bool
+	ServeInstances  int
+	ServeFsync      string
+	Crashes         int
+	PlansMatched    int
+	PlansMismatched int
+
 	Metrics     *sim.Metrics
 	Snapshot    obs.Snapshot
 	Results     []AssertResult
@@ -91,6 +101,9 @@ type Report struct {
 // only for scenario/infrastructure failures — assertion failures are
 // reported via Report.Pass.
 func (doc *Doc) Execute(opt ExecOptions) (*Report, error) {
+	if doc.Spec.Serve {
+		return doc.executeServe(opt)
+	}
 	cfg := doc.traceConfig()
 	world, tr, err := trace.Generate(cfg)
 	if err != nil {
@@ -456,9 +469,14 @@ func (r *Report) WriteText(w io.Writer) {
 	}
 	fmt.Fprintf(w, "world:    %d hotspots, %d videos, %d slots (seed %d)\n", r.Hotspots, r.Videos, r.Slots, r.Seed)
 	fmt.Fprintf(w, "scheme:   %s%s\n", r.Scheme, deltaTag)
-	fmt.Fprintf(w, "faults:   churn-slots=%d outage-slots=%d degraded-slots=%d dropped-reports=%d stress-generated=%d\n",
-		r.FaultCounts.ChurnSlots, r.FaultCounts.OutageSlots, r.FaultCounts.DegradedSlots,
-		r.FaultCounts.DroppedReports, r.StressCount)
+	if r.Serve {
+		fmt.Fprintf(w, "serve:    %d frontends, fsync %s, %d crash(es); %d/%d plans byte-identical to offline\n",
+			r.ServeInstances, r.ServeFsync, r.Crashes, r.PlansMatched, r.PlansMatched+r.PlansMismatched)
+	} else {
+		fmt.Fprintf(w, "faults:   churn-slots=%d outage-slots=%d degraded-slots=%d dropped-reports=%d stress-generated=%d\n",
+			r.FaultCounts.ChurnSlots, r.FaultCounts.OutageSlots, r.FaultCounts.DegradedSlots,
+			r.FaultCounts.DroppedReports, r.StressCount)
+	}
 	if r.Aborted {
 		fmt.Fprintf(w, "\nrun aborted at slot %d: slot assertion violated (fail_fast)\n", r.AbortedSlot)
 	}

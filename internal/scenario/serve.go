@@ -1,0 +1,251 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/scheme"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// executeServe runs a serve-mode scenario: the trace is first scheduled
+// offline (sim.Run, the reference), then driven slot by slot through a
+// real WAL-backed multi-frontend serving tier over HTTP. At each crash
+// event the tier is killed abruptly mid-slot — half the slot's requests
+// accepted, no flush, no graceful drain — and restarted from the
+// on-disk log. Every slot's online plan must be byte-identical to the
+// offline one; the outcome is published as serve.* counters so
+// run-level assertions can pin it.
+func (doc *Doc) executeServe(opt ExecOptions) (*Report, error) {
+	cfg := doc.traceConfig()
+	world, tr, err := trace.Generate(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: generating world: %w", err)
+	}
+	doc.applyCapacityOverrides(world)
+
+	crash := make(map[int]bool)
+	for i, ev := range doc.Events {
+		if ev.At >= cfg.Slots {
+			return nil, fmt.Errorf("scenario: events[%d]: crash.at %d outside the %d-slot run", i, ev.At, cfg.Slots)
+		}
+		crash[ev.At] = true
+	}
+
+	simSeed := doc.Spec.Seed
+	if simSeed == 0 {
+		simSeed = cfg.Seed
+	}
+	params := core.DefaultParams()
+	offline := make(map[int]string)
+	if _, err := sim.Run(world, tr, scheme.NewRBCAer(params), sim.Options{
+		PlanSink: func(slot int, plan *core.Plan) {
+			offline[slot] = hex.EncodeToString(plan.Canonical())
+		},
+	}); err != nil {
+		return nil, fmt.Errorf("scenario: offline reference run: %w", err)
+	}
+
+	reg := obs.NewRegistry()
+	crashes := reg.Counter("serve.crashes")
+	matched := reg.Counter("serve.plans_match")
+	mismatched := reg.Counter("serve.plans_mismatched")
+	recovered := reg.Counter("serve.recovered_records")
+
+	instances := doc.Spec.Instances
+	if instances == 0 {
+		instances = 2
+	}
+	fsync := doc.Spec.Fsync
+	if fsync == "" {
+		fsync = "always"
+	}
+	walDir, err := os.MkdirTemp("", "scenario-wal-")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	defer os.RemoveAll(walDir)
+
+	boot := func() (*server.Server, error) {
+		srv, err := server.New(server.Config{
+			World:           world,
+			Params:          params,
+			Instances:       instances,
+			Registry:        obs.NewRegistry(),
+			PlanHistory:     cfg.Slots + 1,
+			QueueBound:      1 << 20,
+			WALDir:          walDir,
+			Fsync:           fsync,
+			CheckpointEvery: doc.Spec.CheckpointEvery,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("scenario: serve tier: %w", err)
+		}
+		if err := srv.Start(); err != nil {
+			return nil, fmt.Errorf("scenario: serve tier: %w", err)
+		}
+		return srv, nil
+	}
+
+	srv, err := boot()
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if srv != nil {
+			srv.Kill()
+		}
+	}()
+	online := make(map[int]string)
+	for slot, reqs := range tr.BySlot() {
+		total := len(reqs)
+		if crash[slot] {
+			for i, r := range reqs[:len(reqs)/2] {
+				if err := servePost(srv, i, r); err != nil {
+					return nil, err
+				}
+			}
+			srv.Kill()
+			// Drop pooled conns to the dead tier (see serveAdvance's
+			// client note): a stale keep-alive must not be replayed
+			// against the restarted frontends' reused ports.
+			http.DefaultClient.CloseIdleConnections()
+			crashes.Inc()
+			if srv, err = boot(); err != nil {
+				return nil, fmt.Errorf("scenario: restart after crash at slot %d: %w", slot, err)
+			}
+			st := srv.WALState()
+			if st == nil {
+				return nil, fmt.Errorf("scenario: restart after crash at slot %d recovered no WAL state", slot)
+			}
+			if st.Slot != slot {
+				return nil, fmt.Errorf("scenario: restart recovered slot %d, want %d", st.Slot, slot)
+			}
+			recovered.Add(int64(st.Records))
+			reqs = reqs[len(reqs)/2:]
+		}
+		for i, r := range reqs {
+			if err := servePost(srv, i, r); err != nil {
+				return nil, err
+			}
+		}
+		if err := serveAdvance(srv, total > 0, online); err != nil {
+			return nil, err
+		}
+	}
+	http.DefaultClient.CloseIdleConnections()
+	if err := srv.Close(); err != nil {
+		return nil, fmt.Errorf("scenario: serve tier shutdown: %w", err)
+	}
+	srv = nil
+
+	for slot, want := range offline {
+		if online[slot] == want {
+			matched.Inc()
+		} else {
+			mismatched.Inc()
+		}
+	}
+	for slot := range online {
+		if _, ok := offline[slot]; !ok {
+			mismatched.Inc()
+		}
+	}
+
+	rep := &Report{
+		Name:            doc.Name,
+		Scheme:          doc.schemeName(),
+		Hotspots:        len(world.Hotspots),
+		Videos:          world.NumVideos,
+		Slots:           cfg.Slots,
+		Seed:            simSeed,
+		Serve:           true,
+		ServeInstances:  instances,
+		ServeFsync:      fsync,
+		Crashes:         int(crashes.Value()),
+		PlansMatched:    int(matched.Value()),
+		PlansMismatched: int(mismatched.Value()),
+	}
+	rep.Snapshot = reg.Snapshot(false)
+	rep.Results = make([]AssertResult, len(doc.Asserts))
+	pass := mismatched.Value() == 0 && len(online) == len(offline)
+	for i, a := range doc.Asserts {
+		r := AssertResult{Assertion: a}
+		v, ok, err := a.evalRun(nil, rep.Snapshot)
+		if err != nil {
+			r.Err = err.Error()
+			r.Pass = false
+		} else {
+			r.Value = v
+			r.Pass = ok
+		}
+		if !r.Pass {
+			pass = false
+		}
+		rep.Results[i] = r
+	}
+	rep.Pass = pass
+	return rep, nil
+}
+
+// servePost posts one trace request by location to frontend i mod N,
+// requiring a 202.
+func servePost(srv *server.Server, i int, r trace.Request) error {
+	body, err := json.Marshal(map[string]any{
+		"user": int64(r.User), "video": int64(r.Video),
+		"x": r.Location.X, "y": r.Location.Y,
+	})
+	if err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	addr := srv.InstanceAddr(i % srv.NumInstances())
+	resp, err := http.Post("http://"+addr+"/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("scenario: ingest: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("scenario: ingest status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// serveAdvance forces one slot boundary and records the published
+// plan's canonical hex bytes into online. wantPlan marks slots that fed
+// the scheduler demand and therefore must schedule.
+func serveAdvance(srv *server.Server, wantPlan bool, online map[int]string) error {
+	resp, err := http.Post("http://"+srv.Addr()+"/admin/advance", "application/json", nil)
+	if err != nil {
+		return fmt.Errorf("scenario: advance: %w", err)
+	}
+	defer resp.Body.Close()
+	var adv struct {
+		Slot      int  `json:"slot"`
+		Scheduled bool `json:"scheduled"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&adv); err != nil {
+		return fmt.Errorf("scenario: advance decode: %w", err)
+	}
+	if !adv.Scheduled {
+		if wantPlan {
+			return fmt.Errorf("scenario: slot %d did not schedule", adv.Slot)
+		}
+		return nil
+	}
+	for _, rec := range srv.Plans() {
+		if rec.Slot == adv.Slot {
+			online[adv.Slot] = rec.Canonical
+		}
+	}
+	return nil
+}

@@ -2,11 +2,13 @@ package server
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 // Default configuration values, applied by New for zero-valued fields.
@@ -16,6 +18,9 @@ const (
 	DefaultPlanHistory  = 64
 	DefaultMaxBodyBytes = 1 << 16
 	DefaultDrainTimeout = 5 * time.Second
+	// DefaultCheckpointEvery is how many scheduled slots elapse between
+	// WAL checkpoints when WALDir is set.
+	DefaultCheckpointEvery = 8
 
 	// maxShards bounds the lock-stripe count: beyond this the stripes
 	// stop reducing contention and only waste memory.
@@ -79,6 +84,24 @@ type Config struct {
 	// in-flight HTTP requests before cutting them off. 0 selects
 	// DefaultDrainTimeout.
 	DrainTimeout time.Duration
+	// WALDir, when non-empty, enables the durability subsystem
+	// (internal/wal): every accepted ingest, slot boundary, and
+	// scheduled plan is logged there before being acknowledged, New
+	// recovers the durable state on boot, and slot-boundary checkpoints
+	// bound replay time. Empty disables durability (the pre-WAL
+	// in-memory server).
+	WALDir string
+	// Fsync selects the WAL fsync policy: "always" (group commit,
+	// every acknowledgment durable), "interval" (timer flush), or
+	// "none". Empty selects "always". Only meaningful with WALDir.
+	Fsync string
+	// FsyncInterval is the "interval" policy's flush cadence. 0
+	// selects wal.DefaultInterval. Only meaningful with WALDir.
+	FsyncInterval time.Duration
+	// CheckpointEvery writes a WAL checkpoint every this many
+	// scheduled slots. 0 selects DefaultCheckpointEvery. Only
+	// meaningful with WALDir.
+	CheckpointEvery int
 	// Registry, when non-nil, receives the server's metrics
 	// (server.ingest.*, server.lookup.*, server.slots*, server.plan.*,
 	// and the server.slot.latency_us histogram). Nil allocates a
@@ -130,6 +153,30 @@ func (c Config) Validate() error {
 	if c.DrainTimeout < 0 {
 		return fmt.Errorf("server: negative DrainTimeout %v", c.DrainTimeout)
 	}
+	if c.WALDir == "" {
+		if c.Fsync != "" {
+			return fmt.Errorf("server: Fsync %q without WALDir", c.Fsync)
+		}
+		if c.FsyncInterval != 0 {
+			return fmt.Errorf("server: FsyncInterval %v without WALDir", c.FsyncInterval)
+		}
+		if c.CheckpointEvery != 0 {
+			return fmt.Errorf("server: CheckpointEvery %d without WALDir", c.CheckpointEvery)
+		}
+		return nil
+	}
+	if _, err := wal.ParsePolicy(c.Fsync); err != nil {
+		return fmt.Errorf("server: Fsync: %w", err)
+	}
+	if c.FsyncInterval < 0 {
+		return fmt.Errorf("server: negative FsyncInterval %v", c.FsyncInterval)
+	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("server: negative CheckpointEvery %d", c.CheckpointEvery)
+	}
+	if fi, err := os.Stat(c.WALDir); err == nil && !fi.IsDir() {
+		return fmt.Errorf("server: WALDir %q is not a directory", c.WALDir)
+	}
 	return nil
 }
 
@@ -162,6 +209,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
+	}
+	if c.WALDir != "" {
+		if c.FsyncInterval == 0 {
+			c.FsyncInterval = wal.DefaultInterval
+		}
+		if c.CheckpointEvery == 0 {
+			c.CheckpointEvery = DefaultCheckpointEvery
+		}
 	}
 	return c
 }

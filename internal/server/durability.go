@@ -1,0 +1,264 @@
+package server
+
+import (
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/wal"
+)
+
+// This file is the serving tier's side of the durability subsystem
+// (internal/wal). The protocol, end to end:
+//
+//   - Every accepted ingest is logged under its stripe's lock (so the
+//     per-instance sequence watermark is exact) and group-committed
+//     before the 202 acknowledgment (acceptDemand).
+//   - Every slot boundary logs an advance record under s.mu *before*
+//     the drain re-stamps the stripes' slot tags, so in WAL order no
+//     ingest tagged slot k+1 can precede advance k (Server.advance).
+//   - Every scheduled plan logs its canonical bytes + digest and is
+//     synced before the plan fans out to the frontends; a round that
+//     fails its contract logs a roundErr record instead, durably
+//     mirroring the live drop (Server.runSlot).
+//   - Every CheckpointEvery scheduled slots (and at Close) the server
+//     freezes s.mu plus every stripe lock and captures a checkpoint:
+//     slot/epoch counters, the last plan, merged pending demand,
+//     queued-but-unplanned snapshots, and per-instance ingest cursors
+//     (writeCheckpoint).
+//
+// On boot, openWAL replays the newest valid checkpoint plus the WAL
+// suffix and re-seeds the server: recovery hands back exactly the
+// durable prefix, so a kill/restart finishes a trace byte-identical
+// to an uninterrupted run (certified in durability_e2e_test.go).
+
+// openWAL opens cfg.WALDir, recovers the durable state, and applies it
+// to the freshly built (not yet started) server.
+func (s *Server) openWAL() error {
+	policy, err := wal.ParsePolicy(s.cfg.Fsync)
+	if err != nil {
+		return err
+	}
+	l, st, err := wal.Open(s.cfg.WALDir, wal.Options{
+		Policy:   policy,
+		Interval: s.cfg.FsyncInterval,
+		Registry: s.reg,
+	})
+	if err != nil {
+		return err
+	}
+	s.wal = l
+	s.walState = st
+	s.slot = st.Slot
+	s.epoch = st.Epoch
+	for id, seq := range st.Cursors {
+		if id >= 0 && id < len(s.instances) {
+			s.instances[id].seq.Store(seq)
+		}
+	}
+	for _, sh := range s.allShards {
+		sh.slot = st.Slot
+	}
+
+	// Accepted-but-undrained demand goes back into the stripes it
+	// would live in, routed through the same ring.
+	m := len(s.world.Hotspots)
+	for _, e := range st.Pending {
+		if e.Hotspot < 0 || e.Hotspot >= m || e.Video < 0 || e.Video >= s.world.NumVideos {
+			// A WAL from a different world: drop the entry loudly
+			// rather than corrupt the accumulators.
+			s.walErrors.Inc()
+			continue
+		}
+		owner := s.instances[0]
+		if len(s.instances) > 1 {
+			owner = s.instances[s.ring.OwnerOfHotspot(e.Hotspot)]
+		}
+		sh := owner.shards[e.Hotspot%len(owner.shards)]
+		sh.mu.Lock()
+		sh.applyLocked(trace.HotspotID(e.Hotspot), trace.VideoID(e.Video), e.Count)
+		sh.mu.Unlock()
+	}
+
+	// The last durable plan goes back to serving on every frontend,
+	// re-verified by install exactly like a live fan-out.
+	if st.Plan != nil {
+		for _, in := range s.instances {
+			if err := in.install(st.Plan.Epoch, st.Plan.Slot, 0, st.Plan.Canonical, st.Plan.Digest); err != nil {
+				return fmt.Errorf("recovered plan rejected: %w", err)
+			}
+		}
+		s.history = append(s.history, PlanRecord{
+			Slot:      st.Plan.Slot,
+			Epoch:     st.Plan.Epoch,
+			Digest:    digestString(st.Plan.Digest),
+			Canonical: hex.EncodeToString(st.Plan.Canonical),
+		})
+		s.lastPlan = st.Plan
+	}
+
+	// Drained-but-unplanned slots go back on the recompute queue; the
+	// worker schedules them as soon as Start kicks it.
+	for _, q := range st.Queue {
+		d := core.NewDemand(m)
+		var reqs int64
+		for _, e := range q.Entries {
+			if e.Hotspot < 0 || e.Hotspot >= m || e.Video < 0 || e.Video >= s.world.NumVideos {
+				s.walErrors.Inc()
+				continue
+			}
+			d.Add(trace.HotspotID(e.Hotspot), trace.VideoID(e.Video), e.Count)
+			reqs += e.Count
+		}
+		if reqs == 0 {
+			continue
+		}
+		s.queue = append(s.queue, &slotSnapshot{slot: q.Slot, demand: d, requests: reqs, start: time.Now()})
+	}
+	return nil
+}
+
+// syncWAL makes lsn durable per the policy, folding append and fsync
+// failures into server.wal.errors (durability degrades loudly; the
+// caller decides whether to keep the acknowledgment).
+func (s *Server) syncWAL(lsn uint64, appendErr error) error {
+	if s.wal == nil {
+		return nil
+	}
+	if appendErr != nil {
+		s.walErrors.Inc()
+		return appendErr
+	}
+	if err := s.wal.Sync(lsn); err != nil {
+		s.walErrors.Inc()
+		return err
+	}
+	return nil
+}
+
+// maybeCheckpoint writes a checkpoint when the scheduled-slot cadence
+// is due (or force is set). Called from the recompute worker after a
+// plan publishes, and from Close after the final flush.
+func (s *Server) maybeCheckpoint(force bool) {
+	if s.wal == nil {
+		return
+	}
+	s.mu.Lock()
+	s.sinceCkpt++
+	due := force || (s.cfg.CheckpointEvery > 0 && s.sinceCkpt >= s.cfg.CheckpointEvery)
+	if due {
+		s.sinceCkpt = 0
+	}
+	s.mu.Unlock()
+	if !due {
+		return
+	}
+	s.writeCheckpoint()
+}
+
+// writeCheckpoint captures and persists the full durable state. The
+// segment mark is taken first so WriteCheckpoint's GC can never
+// collect a segment whose records postdate the capture; the capture
+// itself holds s.mu plus every stripe lock, so the per-instance
+// sequence counters are exact watermarks of applied-and-logged
+// ingests and the pending maps cannot move underneath it.
+func (s *Server) writeCheckpoint() {
+	mark := s.wal.CurrentSegment()
+	s.mu.Lock()
+	cp := &wal.Checkpoint{
+		Slot:    s.slot,
+		Epoch:   s.epoch,
+		Plan:    s.lastPlan,
+		Cursors: make(map[int]uint64, len(s.instances)),
+	}
+	for _, snap := range s.queue {
+		cp.Queue = append(cp.Queue, queuedFromSnapshot(snap))
+	}
+	for _, sh := range s.allShards {
+		sh.mu.Lock()
+	}
+	for _, in := range s.instances {
+		if seq := in.seq.Load(); seq > 0 {
+			cp.Cursors[in.id] = seq
+		}
+	}
+	pend := make(map[[2]int]int64)
+	for _, sh := range s.allShards {
+		for h, vids := range sh.perVideo {
+			for v, n := range vids {
+				pend[[2]int{int(h), int(v)}] += n
+			}
+		}
+	}
+	for i := len(s.allShards) - 1; i >= 0; i-- {
+		s.allShards[i].mu.Unlock()
+	}
+	s.mu.Unlock()
+
+	cp.Pending = entriesFromMap(pend)
+	if err := s.wal.WriteCheckpoint(cp, mark); err != nil {
+		s.walErrors.Inc()
+	}
+}
+
+// queuedFromSnapshot renders one queued slot snapshot as its durable
+// form.
+func queuedFromSnapshot(snap *slotSnapshot) wal.QueuedSlot {
+	m := make(map[[2]int]int64)
+	for h := range snap.demand.PerVideo {
+		for v, n := range snap.demand.PerVideo[h] {
+			m[[2]int{h, int(v)}] += n
+		}
+	}
+	return wal.QueuedSlot{Slot: snap.slot, Requests: snap.requests, Entries: entriesFromMap(m)}
+}
+
+// entriesFromMap renders a demand map as (hotspot, video)-sorted
+// entries (deterministic checkpoint bytes).
+func entriesFromMap(m map[[2]int]int64) []wal.Entry {
+	out := make([]wal.Entry, 0, len(m))
+	for k, n := range m {
+		out = append(out, wal.Entry{Hotspot: k[0], Video: k[1], Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Hotspot != out[j].Hotspot {
+			return out[i].Hotspot < out[j].Hotspot
+		}
+		return out[i].Video < out[j].Video
+	})
+	return out
+}
+
+// Kill terminates the server the way a crash would: listeners are
+// closed abruptly (in-flight requests are cut off), no final flush
+// runs, no checkpoint is written, and the WAL drops whatever is still
+// buffered in user space. Only the crash-recovery harnesses use it;
+// state recovery after Kill must come entirely from the durable
+// prefix. Kill is idempotent and mutually idempotent with Close.
+func (s *Server) Kill() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.killed.Store(true)
+	for _, in := range s.instances {
+		if in.httpSrv != nil {
+			in.httpSrv.Close()
+		}
+	}
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.wg.Wait()
+	if s.wal != nil {
+		s.wal.Crash()
+	}
+}
+
+// WALState reports the recovery summary of this server's boot (nil
+// when durability is off or the directory was fresh and empty).
+func (s *Server) WALState() *wal.State { return s.walState }

@@ -1,0 +1,294 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/scheme"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// durabilityWorldAndTrace is a multi-slot deployment sized so every
+// slot actually schedules (redirects, placement) but a full
+// kill/restart sweep stays fast.
+func durabilityWorldAndTrace(t *testing.T) (*trace.World, *trace.Trace) {
+	t.Helper()
+	cfg := trace.DefaultConfig()
+	cfg.Seed = 11
+	cfg.NumHotspots = 16
+	cfg.NumVideos = 400
+	cfg.NumUsers = 600
+	cfg.NumRequests = 2000
+	cfg.Slots = 5
+	cfg.NumRegions = 3
+	world, tr, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return world, tr
+}
+
+// postIngest posts one trace request by location, requiring a 202.
+func postIngest(t *testing.T, addr string, r trace.Request) {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{
+		"user": int64(r.User), "video": int64(r.Video),
+		"x": r.Location.X, "y": r.Location.Y,
+	})
+	resp, err := http.Post("http://"+addr+"/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest: status %d", resp.StatusCode)
+	}
+}
+
+// advanceSlot forces a slot boundary and records the newly published
+// plan's canonical bytes into online.
+func advanceSlot(t *testing.T, srv *server.Server, online map[int]string) {
+	t.Helper()
+	resp, err := http.Post("http://"+srv.Addr()+"/admin/advance", "application/json", nil)
+	if err != nil {
+		t.Fatalf("advance: %v", err)
+	}
+	var adv struct {
+		Slot      int    `json:"slot"`
+		Scheduled bool   `json:"scheduled"`
+		Digest    string `json:"digest"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&adv); err != nil {
+		t.Fatalf("advance decode: %v", err)
+	}
+	resp.Body.Close()
+	if !adv.Scheduled {
+		t.Fatalf("slot %d did not schedule", adv.Slot)
+	}
+	for _, rec := range srv.Plans() {
+		if rec.Slot == adv.Slot {
+			online[adv.Slot] = rec.Canonical
+		}
+	}
+}
+
+// TestCrashRecoveryMatchesOfflineSim is the durability centerpiece: a
+// three-frontend serving tier with the WAL on is killed abruptly twice
+// while replaying a trace — once mid-slot (half the slot's requests
+// accepted) and once right after a slot boundary — restarted from disk
+// each time, and must still finish the trace with every slot's plan
+// byte-identical to an uninterrupted offline sim.Run.
+func TestCrashRecoveryMatchesOfflineSim(t *testing.T) {
+	world, tr := durabilityWorldAndTrace(t)
+	params := core.DefaultParams()
+
+	offline := make(map[int]string)
+	if _, err := sim.Run(world, tr, scheme.NewRBCAer(params), sim.Options{
+		PlanSink: func(slot int, plan *core.Plan) {
+			offline[slot] = hex.EncodeToString(plan.Canonical())
+		},
+	}); err != nil {
+		t.Fatalf("sim.Run: %v", err)
+	}
+
+	walDir := t.TempDir()
+	boot := func() *server.Server {
+		srv, err := server.New(server.Config{
+			World:           world,
+			Params:          params,
+			Instances:       3,
+			Registry:        obs.NewRegistry(),
+			PlanHistory:     tr.Slots + 1,
+			QueueBound:      1 << 20,
+			WALDir:          walDir,
+			Fsync:           "always",
+			CheckpointEvery: 2,
+		})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if err := srv.Start(); err != nil {
+			t.Fatalf("Start: %v", err)
+		}
+		return srv
+	}
+
+	srv := boot()
+	online := make(map[int]string)
+	bySlot := tr.BySlot()
+	target := func(i int) string { return srv.InstanceAddr(i % srv.NumInstances()) }
+
+	for slot, reqs := range bySlot {
+		switch slot {
+		case 2:
+			// Crash mid-slot: half the slot's requests are accepted and
+			// durable, then the process dies without any graceful work.
+			for i, r := range reqs[:len(reqs)/2] {
+				postIngest(t, target(i), r)
+			}
+			srv.Kill()
+			srv = boot()
+			st := srv.WALState()
+			if st == nil || st.Records == 0 {
+				t.Fatalf("restart recovered no WAL records: %+v", st)
+			}
+			if st.Slot != 2 {
+				t.Fatalf("restart recovered slot %d, want 2", st.Slot)
+			}
+			for i, r := range reqs[len(reqs)/2:] {
+				postIngest(t, target(i), r)
+			}
+			advanceSlot(t, srv, online)
+		case 3:
+			// Crash on a slot boundary: the plan published and became
+			// durable, then the process dies before the next slot.
+			for i, r := range reqs {
+				postIngest(t, target(i), r)
+			}
+			advanceSlot(t, srv, online)
+			srv.Kill()
+			srv = boot()
+			if st := srv.WALState(); st == nil || st.Plan == nil {
+				t.Fatalf("restart after boundary crash recovered no plan")
+			}
+		default:
+			for i, r := range reqs {
+				postIngest(t, target(i), r)
+			}
+			advanceSlot(t, srv, online)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	if len(online) != len(offline) {
+		t.Fatalf("online scheduled %d slots, offline %d", len(online), len(offline))
+	}
+	for slot, want := range offline {
+		got, ok := online[slot]
+		if !ok {
+			t.Errorf("slot %d: no online plan", slot)
+			continue
+		}
+		if got != want {
+			t.Errorf("slot %d: plan after kill/restart differs from offline (%d vs %d hex bytes)",
+				slot, len(got), len(want))
+		}
+	}
+}
+
+// TestRecoveryServesLastDurablePlan certifies the restart boot path:
+// after a crash, every frontend immediately serves the last durable
+// plan (same epoch, same digest) before any new slot is scheduled,
+// and /healthz reports the durability state.
+func TestRecoveryServesLastDurablePlan(t *testing.T) {
+	world, tr := durabilityWorldAndTrace(t)
+	walDir := t.TempDir()
+	cfg := server.Config{
+		World:       world,
+		Instances:   2,
+		Registry:    obs.NewRegistry(),
+		PlanHistory: 8,
+		QueueBound:  1 << 20,
+		WALDir:      walDir,
+		Fsync:       "always",
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	online := make(map[int]string)
+	for i, r := range tr.BySlot()[0] {
+		postIngest(t, srv.InstanceAddr(i%2), r)
+	}
+	advanceSlot(t, srv, online)
+	wantEpoch, wantDigest := srv.InstanceEpochDigest(0)
+	srv.Kill()
+
+	cfg.Registry = obs.NewRegistry()
+	srv2, err := server.New(cfg)
+	if err != nil {
+		t.Fatalf("New after crash: %v", err)
+	}
+	if err := srv2.Start(); err != nil {
+		t.Fatalf("Start after crash: %v", err)
+	}
+	defer srv2.Close()
+	for i := 0; i < srv2.NumInstances(); i++ {
+		epoch, digest := srv2.InstanceEpochDigest(i)
+		if epoch != wantEpoch || digest != wantDigest {
+			t.Errorf("instance %d recovered (epoch %d, %s), want (epoch %d, %s)",
+				i, epoch, digest, wantEpoch, wantDigest)
+		}
+	}
+	if got := cfg.Registry.Counter("wal.recovered_records").Value(); got == 0 {
+		t.Error("wal.recovered_records is 0 after replaying a non-empty log")
+	}
+
+	resp, err := http.Get("http://" + srv2.Addr() + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	defer resp.Body.Close()
+	var hz struct {
+		WAL *struct {
+			Policy           string `json:"policy"`
+			RecoveredRecords int    `json:"recovered_records"`
+			RecoveredSlot    int    `json:"recovered_slot"`
+		} `json:"wal"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatalf("healthz decode: %v", err)
+	}
+	if hz.WAL == nil {
+		t.Fatal("healthz has no wal section with durability on")
+	}
+	if hz.WAL.Policy != "always" {
+		t.Errorf("healthz wal policy %q, want always", hz.WAL.Policy)
+	}
+	if hz.WAL.RecoveredRecords == 0 {
+		t.Error("healthz reports 0 recovered records")
+	}
+	if hz.WAL.RecoveredSlot != 1 {
+		t.Errorf("healthz recovered slot %d, want 1", hz.WAL.RecoveredSlot)
+	}
+}
+
+// TestKillIdempotence: Kill after Kill and Close after Kill are both
+// no-ops, and a killed server rejects further advances.
+func TestKillIdempotence(t *testing.T) {
+	world, _ := durabilityWorldAndTrace(t)
+	srv, err := server.New(server.Config{
+		World:    world,
+		Registry: obs.NewRegistry(),
+		WALDir:   t.TempDir(),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	srv.Kill()
+	srv.Kill()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close after Kill: %v", err)
+	}
+	resp, err := http.Post(fmt.Sprintf("http://%s/admin/advance", srv.Addr()), "application/json", nil)
+	if err == nil {
+		resp.Body.Close()
+		t.Fatal("advance succeeded against a killed server")
+	}
+}

@@ -113,12 +113,32 @@ func resolveIngest(world *trace.World, index *geo.Grid, req ingestRequest) (hots
 // counters are only ever touched under this stripe's lock.
 type demandShard struct {
 	mu sync.Mutex
+	// slot tags the timeslot this stripe is currently accumulating
+	// for; the drain re-stamps it at every boundary. WAL ingest
+	// records carry it so recovery can place each accepted request in
+	// the right slot.
+	slot int
 	// pending is the number of accepted requests not yet snapshotted;
 	// the backpressure bound applies to it.
 	pending int64
 	// perVideo[h][v] counts accepted requests for video v aggregated
 	// at hotspot h (only hotspots owned by this stripe appear).
 	perVideo map[trace.HotspotID]map[trace.VideoID]int64
+}
+
+// applyLocked folds n requests for (h, v) into the stripe. Callers
+// hold sh.mu.
+func (sh *demandShard) applyLocked(h trace.HotspotID, v trace.VideoID, n int64) {
+	if sh.perVideo == nil {
+		sh.perVideo = make(map[trace.HotspotID]map[trace.VideoID]int64)
+	}
+	m := sh.perVideo[h]
+	if m == nil {
+		m = make(map[trace.VideoID]int64)
+		sh.perVideo[h] = m
+	}
+	m[v] += n
+	sh.pending += n
 }
 
 // add records one accepted request, or reports false when the stripe is
@@ -129,27 +149,53 @@ func (sh *demandShard) add(h trace.HotspotID, v trace.VideoID, bound int64) bool
 	if sh.pending >= bound {
 		return false
 	}
-	if sh.perVideo == nil {
-		sh.perVideo = make(map[trace.HotspotID]map[trace.VideoID]int64)
-	}
-	m := sh.perVideo[h]
-	if m == nil {
-		m = make(map[trace.VideoID]int64)
-		sh.perVideo[h] = m
-	}
-	m[v]++
-	sh.pending++
+	sh.applyLocked(h, v, 1)
 	return true
 }
 
+// acceptDemand is the accepted-ingest path behind POST /ingest: bound
+// check, stripe accumulation, and — when durability is on — WAL
+// logging. The ingest record is appended under the stripe lock (so
+// the owning instance's sequence counter is an exact watermark of
+// applied-and-logged requests) and group-committed after the lock is
+// released, before the 202 acknowledgment. A Sync failure refuses the
+// acknowledgment: the request may be double-counted on retry, but an
+// acknowledged request is always part of the durable prefix.
+func (s *Server) acceptDemand(owner *instance, sh *demandShard, h trace.HotspotID, v trace.VideoID) (bool, error) {
+	if s.wal == nil {
+		return sh.add(h, v, int64(s.cfg.QueueBound)), nil
+	}
+	sh.mu.Lock()
+	if sh.pending >= int64(s.cfg.QueueBound) {
+		sh.mu.Unlock()
+		return false, nil
+	}
+	seq := owner.seq.Add(1)
+	lsn, err := s.wal.AppendIngest(sh.slot, owner.id, seq, int(h), int(v), 1)
+	if err != nil {
+		sh.mu.Unlock()
+		s.walErrors.Inc()
+		return false, err
+	}
+	sh.applyLocked(h, v, 1)
+	sh.mu.Unlock()
+	if err := s.wal.Sync(lsn); err != nil {
+		s.walErrors.Inc()
+		return false, err
+	}
+	return true, nil
+}
+
 // drain atomically takes the stripe's accumulated demand, leaving it
-// empty. The snapshot owns the returned maps outright.
-func (sh *demandShard) drain() (map[trace.HotspotID]map[trace.VideoID]int64, int64) {
+// empty and accumulating for newSlot. The snapshot owns the returned
+// maps outright.
+func (sh *demandShard) drain(newSlot int) (map[trace.HotspotID]map[trace.VideoID]int64, int64) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	out, n := sh.perVideo, sh.pending
 	sh.perVideo = nil
 	sh.pending = 0
+	sh.slot = newSlot
 	return out, n
 }
 
@@ -157,11 +203,11 @@ func (sh *demandShard) drain() (map[trace.HotspotID]map[trace.VideoID]int64, int
 // when nothing was accepted since the last snapshot. Each stripe is
 // locked only for the O(1) map handoff; merging happens outside the
 // locks.
-func drainDemand(shards []*demandShard, numHotspots int) (*core.Demand, int64) {
+func drainDemand(shards []*demandShard, numHotspots, newSlot int) (*core.Demand, int64) {
 	var total int64
 	parts := make([]map[trace.HotspotID]map[trace.VideoID]int64, 0, len(shards))
 	for _, sh := range shards {
-		part, n := sh.drain()
+		part, n := sh.drain(newSlot)
 		if n > 0 {
 			parts = append(parts, part)
 			total += n

@@ -35,6 +35,12 @@ type instance struct {
 	// install. Lookups only ever Load it.
 	current atomic.Pointer[servingPlan]
 
+	// seq numbers this instance's accepted ingests for the WAL.
+	// Incremented under the accepting stripe's lock, so holding every
+	// stripe lock reads it as an exact applied-and-logged watermark
+	// (see Server.writeCheckpoint).
+	seq atomic.Uint64
+
 	httpSrv *http.Server
 	ln      net.Listener
 
@@ -166,7 +172,14 @@ func (in *instance) handleIngest(w http.ResponseWriter, r *http.Request) {
 		owner = s.instances[s.ring.OwnerOfHotspot(h)]
 	}
 	sh := owner.shards[h%len(owner.shards)]
-	if !sh.add(trace.HotspotID(h), v, int64(s.cfg.QueueBound)) {
+	ok, werr := s.acceptDemand(owner, sh, trace.HotspotID(h), v)
+	if werr != nil {
+		// Durability failure: the request must not be acknowledged as
+		// accepted, because a crash could lose it.
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "durability failure, retry"})
+		return
+	}
+	if !ok {
 		// Backpressure: the stripe is at its bound until the next slot
 		// snapshot drains it. The rejection is visible (429 + counter),
 		// never a silent drop.
@@ -248,6 +261,20 @@ func (in *instance) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if sp := in.current.Load(); sp != nil {
 		resp["serving_epoch"] = sp.epoch
 		resp["digest"] = digestString(sp.digest)
+	}
+	if s.wal != nil {
+		walResp := map[string]any{
+			"policy":         s.wal.Policy().String(),
+			"appended_lsn":   s.wal.LastLSN(),
+			"durable_lsn":    s.wal.DurableLSN(),
+			"checkpoint_seq": s.wal.CheckpointSeq(),
+		}
+		if st := s.walState; st != nil {
+			walResp["recovered_records"] = st.Records
+			walResp["recovered_slot"] = st.Slot
+			walResp["truncated_bytes"] = st.TruncatedBytes
+		}
+		resp["wal"] = walResp
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

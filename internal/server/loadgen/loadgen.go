@@ -39,6 +39,12 @@ type Options struct {
 	// tier accepts any request at any frontend). Slot boundaries are
 	// still forced through baseURL. Empty selects baseURL alone.
 	Targets []string
+	// Pace, when positive, makes DriveOpenLoopContext post each
+	// generated request on its arrival schedule, sleeping until
+	// At/Pace from the drive's start (Pace 1 replays in real time,
+	// Pace 10 ten times faster). 0 posts as fast as the workers go.
+	// Only open-loop drives honour it.
+	Pace float64
 }
 
 // SlotReport is the outcome of replaying one timeslot.
@@ -88,6 +94,10 @@ func Replay(baseURL string, world *trace.World, tr *trace.Trace, opts Options) (
 	if client == nil {
 		client = &http.Client{}
 	}
+	// Drop the keep-alive pool once the drive completes: conns left
+	// behind (including spare dials that never carried a request) keep
+	// the tier's graceful Shutdown waiting out its drain deadline.
+	defer client.CloseIdleConnections()
 
 	targets := opts.Targets
 	if len(targets) == 0 {

@@ -1,7 +1,13 @@
 package loadgen_test
 
 import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/geo"
 	"repro/internal/obs"
@@ -89,4 +95,122 @@ class bursty clients=5  arrival=gamma   rate=20 shape=0.5
 	if reg.Counter("server.shard.0.lookups").Value() != 0 {
 		t.Error("driver should not have issued lookups")
 	}
+}
+
+// TestDriveOpenLoopCancellation: a paced drive sleeping toward a far
+// future arrival must return promptly — with ctx's error — when the
+// context is cancelled mid-sleep, and a drive handed an
+// already-cancelled context must not post anything at all.
+func TestDriveOpenLoopCancellation(t *testing.T) {
+	world := openLoopWorld(4)
+	srv, err := server.New(server.Config{
+		World:      world,
+		Registry:   obs.NewRegistry(),
+		QueueBound: 1 << 20,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	// One slot, two arrivals: the first fires immediately, the second
+	// is hours away at Pace 1 — the drive can only finish early via
+	// cancellation.
+	stream := &loadgen.Stream{
+		Slots: [][]loadgen.GenRequest{{
+			{User: 0, Video: 1, Hotspot: 0, At: 0},
+			{User: 1, Video: 2, Hotspot: 1, At: 3600},
+		}},
+		Total: 2,
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	startAt := time.Now()
+	report, err := loadgen.DriveOpenLoopContext(ctx, base, stream, loadgen.Options{Pace: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("paced drive returned %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(startAt); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v, sleep was not interrupted", elapsed)
+	}
+	if report == nil || report.Accepted != 1 {
+		t.Fatalf("report %+v, want exactly the pre-cancel request accepted", report)
+	}
+
+	// Already-cancelled context: nothing is posted, the error surfaces
+	// before the first slot.
+	done, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	report, err = loadgen.DriveOpenLoopContext(done, base, stream, loadgen.Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled drive returned %v, want context.Canceled", err)
+	}
+	if report.Sent != 0 {
+		t.Fatalf("pre-cancelled drive sent %d requests, want 0", report.Sent)
+	}
+}
+
+// TestDriveOpenLoopErrorPaths drives the paced loop against stub
+// servers that reject, error, and garble the protocol, covering the
+// 429 accounting and both failure branches.
+func TestDriveOpenLoopErrorPaths(t *testing.T) {
+	stream := &loadgen.Stream{
+		Slots: [][]loadgen.GenRequest{{
+			{User: 0, Video: 1, Hotspot: 0, At: 0},
+			{User: 1, Video: 2, Hotspot: 1, At: 0.001},
+		}},
+		Total: 2,
+	}
+
+	t.Run("ingest server error", func(t *testing.T) {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusInternalServerError)
+		}))
+		defer srv.Close()
+		_, err := loadgen.DriveOpenLoop(srv.URL, stream, loadgen.Options{Pace: 1000})
+		if err == nil || !strings.Contains(err.Error(), "ingest status 500") {
+			t.Fatalf("err = %v, want ingest status 500", err)
+		}
+	})
+
+	t.Run("rejections counted, advance garbled", func(t *testing.T) {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/ingest" {
+				w.WriteHeader(http.StatusTooManyRequests)
+				return
+			}
+			w.Write([]byte("{not json"))
+		}))
+		defer srv.Close()
+		report, err := loadgen.DriveOpenLoop(srv.URL, stream, loadgen.Options{Pace: 1000})
+		if err == nil || !strings.Contains(err.Error(), "decoding advance reply") {
+			t.Fatalf("err = %v, want advance decode failure", err)
+		}
+		if report.Rejected != 2 {
+			t.Fatalf("Rejected = %d, want 2", report.Rejected)
+		}
+	})
+
+	t.Run("advance server error", func(t *testing.T) {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/ingest" {
+				w.WriteHeader(http.StatusAccepted)
+				return
+			}
+			w.WriteHeader(http.StatusBadGateway)
+		}))
+		defer srv.Close()
+		_, err := loadgen.DriveOpenLoop(srv.URL, stream, loadgen.Options{Pace: 1000})
+		if err == nil || !strings.Contains(err.Error(), "advance status 502") {
+			t.Fatalf("err = %v, want advance status 502", err)
+		}
+	})
 }

@@ -131,7 +131,7 @@ func TestMultiInstanceIngestRouting(t *testing.T) {
 		t.Fatalf("ring assigned all %d hotspots to instance 0 — test world too small", hotspots)
 	}
 	for i, in := range s.instances {
-		d, n := drainDemand(in.shards, hotspots)
+		d, n := drainDemand(in.shards, hotspots, 1)
 		if n != wantPerInstance[i] {
 			t.Errorf("instance %d holds %d requests, want %d", i, n, wantPerInstance[i])
 		}

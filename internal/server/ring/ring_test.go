@@ -183,3 +183,25 @@ func TestRingMinimalMovementOnLeave(t *testing.T) {
 		}
 	}
 }
+
+// TestRingAccessors covers the hotspot convenience wrapper and the
+// defensive Members copy.
+func TestRingAccessors(t *testing.T) {
+	r, err := New(3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 0; h < 32; h++ {
+		if got, want := r.OwnerOfHotspot(h), r.Owner(uint64(h)); got != want {
+			t.Fatalf("OwnerOfHotspot(%d) = %d, want %d", h, got, want)
+		}
+	}
+	m := r.Members()
+	if len(m) != 3 || m[0] != 0 || m[1] != 1 || m[2] != 2 {
+		t.Fatalf("Members() = %v", m)
+	}
+	m[0] = 99 // mutating the copy must not touch the ring
+	if r.Members()[0] != 0 {
+		t.Fatal("Members() returned internal slice")
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -47,6 +48,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/server/ring"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 // Server is one online scheduling service deployment: one scheduler
@@ -65,14 +67,26 @@ type Server struct {
 	instances []*instance
 	allShards []*demandShard
 
-	// mu guards the snapshot queue, slot counter, plan history, and
-	// the closed flag.
+	// mu guards the snapshot queue, slot counter, plan history, the
+	// closed flag, and the checkpoint cadence state.
 	mu      sync.Mutex
 	queue   []*slotSnapshot
 	slot    int
 	epoch   int64
 	history []PlanRecord
 	closed  bool
+
+	// Durability (nil / zero when Config.WALDir is empty). lastPlan is
+	// the most recently published plan in checkpoint form; sinceCkpt
+	// counts scheduled slots since the last checkpoint; killed marks a
+	// simulated crash (Kill), which must skip all graceful-shutdown
+	// work.
+	wal       *wal.Log
+	walState  *wal.State
+	lastPlan  *wal.PlanState
+	sinceCkpt int
+	killed    atomic.Bool
+	walErrors *obs.Counter
 
 	// kick wakes the recompute worker (capacity 1: a pending kick
 	// covers any number of queued snapshots).
@@ -159,6 +173,12 @@ func New(cfg Config) (*Server, error) {
 		s.svcCaps[h] = hs.ServiceCapacity
 		s.cacheCaps[h] = hs.CacheCapacity
 	}
+	s.walErrors = s.reg.Counter("server.wal.errors")
+	if cfg.WALDir != "" {
+		if err := s.openWAL(); err != nil {
+			return nil, fmt.Errorf("server: wal: %w", err)
+		}
+	}
 	return s, nil
 }
 
@@ -180,6 +200,17 @@ func (s *Server) Start() error {
 	}
 	s.wg.Add(1)
 	go s.recomputeLoop()
+	// Recovery may have re-enqueued drained-but-unplanned slots; get
+	// the worker onto them immediately.
+	s.mu.Lock()
+	pending := len(s.queue) > 0
+	s.mu.Unlock()
+	if pending {
+		select {
+		case s.kick <- struct{}{}:
+		default:
+		}
+	}
 	if s.cfg.SlotDuration > 0 {
 		s.wg.Add(1)
 		go s.tickLoop()
@@ -257,6 +288,14 @@ func (s *Server) Close() error {
 	s.advance(nil, true)
 	s.stopOnce.Do(func() { close(s.stop) })
 	s.wg.Wait()
+	if s.wal != nil {
+		// Seal the run: a final checkpoint makes the next boot's replay
+		// trivial, then the log closes cleanly (flush + fsync).
+		s.maybeCheckpoint(true)
+		if e := s.wal.Close(); e != nil && err == nil {
+			err = e
+		}
+	}
 	return err
 }
 
@@ -299,11 +338,22 @@ func (s *Server) advance(done chan struct{}, final bool) (slot int, ok bool) {
 	}
 	slot = s.slot
 	s.slot++
-	demand, n := drainDemand(s.allShards, len(s.world.Hotspots))
+	// Durability ordering: the advance record is appended *before* the
+	// drain re-stamps the stripes' slot tags, so in WAL order an ingest
+	// tagged with the new slot can never precede this boundary (the
+	// tag is read and the ingest appended under the stripe lock, which
+	// the drain also takes).
+	var advLSN uint64
+	var advErr error
+	if s.wal != nil {
+		advLSN, advErr = s.wal.AppendAdvance(slot)
+	}
+	demand, n := drainDemand(s.allShards, len(s.world.Hotspots), s.slot)
 	s.reg.Counter("server.slots").Inc()
 	if demand == nil {
 		s.reg.Counter("server.slots.empty").Inc()
 		s.mu.Unlock()
+		s.syncWAL(advLSN, advErr)
 		if done != nil {
 			close(done)
 		}
@@ -329,6 +379,7 @@ func (s *Server) advance(done chan struct{}, final bool) (slot int, ok bool) {
 		s.queue = append(s.queue, snap)
 	}
 	s.mu.Unlock()
+	s.syncWAL(advLSN, advErr)
 	select {
 	case s.kick <- struct{}{}:
 	default:
@@ -382,9 +433,14 @@ func (s *Server) recomputeLoop() {
 	}
 }
 
-// drainQueue schedules every queued snapshot.
+// drainQueue schedules every queued snapshot. After Kill, nothing is
+// scheduled: a simulated crash must leave only the durable prefix
+// behind.
 func (s *Server) drainQueue() {
 	for {
+		if s.killed.Load() {
+			return
+		}
 		s.mu.Lock()
 		if len(s.queue) == 0 {
 			s.mu.Unlock()
@@ -418,7 +474,13 @@ func (s *Server) runSlot(snap *slotSnapshot) {
 	if err != nil {
 		// Contract violations only (ScheduleRound degrades instead of
 		// failing on solver trouble): keep serving the previous plan.
+		// The drop is made durable (roundErr record) so recovery does
+		// not resurrect and reschedule the slot's demand.
 		s.reg.Counter("server.plan.errors").Inc()
+		if s.wal != nil {
+			lsn, aerr := s.wal.AppendRoundErr(snap.slot)
+			s.syncWAL(lsn, aerr)
+		}
 		return
 	}
 
@@ -429,9 +491,15 @@ func (s *Server) runSlot(snap *slotSnapshot) {
 
 	// Plan distribution: every frontend receives the same canonical
 	// bytes and digest, decodes its own serving plan from them, and
-	// verifies the round trip before swapping.
+	// verifies the round trip before swapping. With durability on, the
+	// plan is logged and synced first — a plan is never served unless
+	// it is part of the durable prefix.
 	canonical := plan.Canonical()
 	digest := core.DigestOf(canonical)
+	if s.wal != nil {
+		lsn, aerr := s.wal.AppendPlan(snap.slot, epoch, digest, canonical)
+		s.syncWAL(lsn, aerr)
+	}
 	for _, in := range s.instances {
 		if err := in.install(epoch, snap.slot, snap.requests, canonical, digest); err != nil {
 			s.reg.Counter("server.plan.rejects").Inc()
@@ -488,7 +556,11 @@ func (s *Server) runSlot(snap *slotSnapshot) {
 	if len(s.history) > s.cfg.PlanHistory {
 		s.history = s.history[len(s.history)-s.cfg.PlanHistory:]
 	}
+	if s.wal != nil {
+		s.lastPlan = &wal.PlanState{Slot: snap.slot, Epoch: epoch, Digest: digest, Canonical: canonical}
+	}
 	s.mu.Unlock()
+	s.maybeCheckpoint(false)
 }
 
 // Plans returns the retained per-slot plan records, oldest first.

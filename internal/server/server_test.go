@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -71,6 +72,18 @@ func TestConfigValidate(t *testing.T) {
 		{"negative max body", Config{World: world, MaxBodyBytes: -1}, false},
 		{"drain timeout", Config{World: world, DrainTimeout: time.Second}, true},
 		{"negative drain timeout", Config{World: world, DrainTimeout: -time.Second}, false},
+		{"wal dir", Config{World: world, WALDir: t.TempDir()}, true},
+		{"wal dir not yet created", Config{World: world, WALDir: t.TempDir() + "/sub/wal"}, true},
+		{"wal full config", Config{World: world, WALDir: t.TempDir(), Fsync: "interval",
+			FsyncInterval: time.Second, CheckpointEvery: 4}, true},
+		{"fsync none", Config{World: world, WALDir: t.TempDir(), Fsync: "none"}, true},
+		{"unknown fsync policy", Config{World: world, WALDir: t.TempDir(), Fsync: "sometimes"}, false},
+		{"fsync without wal dir", Config{World: world, Fsync: "always"}, false},
+		{"fsync interval without wal dir", Config{World: world, FsyncInterval: time.Second}, false},
+		{"checkpoint every without wal dir", Config{World: world, CheckpointEvery: 4}, false},
+		{"negative fsync interval", Config{World: world, WALDir: t.TempDir(), FsyncInterval: -time.Second}, false},
+		{"negative checkpoint every", Config{World: world, WALDir: t.TempDir(), CheckpointEvery: -1}, false},
+		{"wal dir is a file", Config{World: world, WALDir: walFilePath(t)}, false},
 	}
 	for _, tc := range cases {
 		err := tc.cfg.Validate()
@@ -80,7 +93,20 @@ func TestConfigValidate(t *testing.T) {
 		if !tc.ok && err == nil {
 			t.Errorf("%s: invalid config accepted", tc.name)
 		}
+		if err != nil && !strings.HasPrefix(err.Error(), "server:") {
+			t.Errorf("%s: error lacks field context: %v", tc.name, err)
+		}
 	}
+}
+
+// walFilePath creates a regular file where a WAL directory would go.
+func walFilePath(t *testing.T) string {
+	t.Helper()
+	p := t.TempDir() + "/not-a-dir"
+	if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
 }
 
 // newTestServer builds an unstarted server plus its handler for direct
@@ -170,7 +196,7 @@ func TestBackpressure(t *testing.T) {
 	if got := reg.Counter("server.ingest.rejected").Value(); got != 2 {
 		t.Errorf("rejected counter = %d, want 2", got)
 	}
-	demand, n := drainDemand(s.instances[0].shards, 2)
+	demand, n := drainDemand(s.instances[0].shards, 2, 1)
 	if n != 3 || demand.Totals[0] != 3 {
 		t.Fatalf("drained %d requests (hotspot0 %d), want 3 accepted", n, demand.Totals[0])
 	}

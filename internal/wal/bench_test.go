@@ -1,0 +1,71 @@
+package wal
+
+import (
+	"testing"
+)
+
+func benchAppend(b *testing.B, policy Policy) {
+	dir := b.TempDir()
+	l, _, err := Open(dir, Options{Policy: policy})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lsn, err := l.AppendIngest(i>>10, 0, uint64(i+1), i%64, i%512, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := l.Sync(lsn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWALAppendAlways(b *testing.B)   { benchAppend(b, PolicyAlways) }
+func BenchmarkWALAppendInterval(b *testing.B) { benchAppend(b, PolicyInterval) }
+func BenchmarkWALAppendNone(b *testing.B)     { benchAppend(b, PolicyNone) }
+
+func BenchmarkRecoveryReplay(b *testing.B) {
+	dir := b.TempDir()
+	l, _, err := Open(dir, Options{Policy: PolicyNone})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const records = 20000
+	canonical, digest := testPlanBytes(b, 7)
+	for i := 0; i < records; i++ {
+		if i%2000 == 1999 {
+			slot := i / 2000
+			if _, err := l.AppendAdvance(slot); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := l.AppendPlan(slot, int64(slot+1), digest, canonical); err != nil {
+				b.Fatal(err)
+			}
+			continue
+		}
+		if _, err := l.AppendIngest(i/2000, i%4, uint64(i/4+1), i%64, i%512, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l2, st, err := Open(dir, Options{Policy: PolicyNone})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Boundary iterations append two records (advance + plan).
+		want := records + records/2000
+		if st.Records != want {
+			b.Fatalf("recovered %d records, want %d", st.Records, want)
+		}
+		l2.Close()
+	}
+}

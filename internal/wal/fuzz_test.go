@@ -1,0 +1,76 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWALReplay throws arbitrary bytes at the full recovery path:
+// segment scanning, record decoding, checkpoint unmarshalling, and
+// state building must never panic, the valid prefix must be stable
+// (re-scanning it yields the same records), and any plan that reaches
+// a State must pass full verification.
+func FuzzWALReplay(f *testing.F) {
+	// Seed with a well-formed segment and checkpoint so the fuzzer
+	// starts from structurally valid corpora.
+	var seg []byte
+	recs := []record{
+		{kind: recIngest, slot: 0, instance: 1, seq: 1, hotspot: 2, video: 3, count: 4},
+		{kind: recAdvance, slot: 0},
+		{kind: recPlan, slot: 0, epoch: 1, digest: 42, canonical: []byte("plan v1\n")},
+		{kind: recRoundErr, slot: 1},
+	}
+	for i := range recs {
+		seg = appendFrame(seg, recs[i].encode(nil))
+	}
+	f.Add(seg)
+	f.Add(marshalCheckpoint(&Checkpoint{
+		Slot:    2,
+		Epoch:   3,
+		Cursors: map[int]uint64{0: 5},
+		Pending: []Entry{{Hotspot: 1, Video: 2, Count: 3}},
+		Queue:   []QueuedSlot{{Slot: 1, Requests: 2, Entries: []Entry{{Hotspot: 0, Video: 0, Count: 2}}}},
+	}))
+	f.Add([]byte{})
+	f.Add([]byte("WALCKPT1garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, validLen := scanSegment(data)
+		if validLen < 0 || validLen > len(data) {
+			t.Fatalf("validLen %d out of range [0, %d]", validLen, len(data))
+		}
+		again, againLen := scanSegment(data[:validLen])
+		if againLen != validLen || len(again) != len(recs) {
+			t.Fatalf("valid prefix not stable: %d/%d records, %d/%d bytes",
+				len(again), len(recs), againLen, validLen)
+		}
+
+		st := buildState(nil, recs)
+		if st.Plan != nil && !verifyPlanBytes(st.Plan.Canonical, st.Plan.Digest) {
+			t.Fatal("buildState surfaced an unverified plan")
+		}
+		for _, q := range st.Queue {
+			if len(q.Entries) == 0 {
+				t.Fatal("buildState surfaced an empty queued slot")
+			}
+		}
+
+		if cp, err := unmarshalCheckpoint(data); err == nil {
+			// A checkpoint that decodes must re-marshal into bytes that
+			// decode to the same checkpoint (modulo the CRC frame), and
+			// must be safe to replay records onto.
+			st2 := buildState(cp, recs)
+			if st2.Plan != nil && cp.Plan == nil && st.Plan == nil {
+				t.Fatal("plan appeared from nowhere")
+			}
+			round := marshalCheckpoint(cp)
+			cp2, err := unmarshalCheckpoint(round)
+			if err != nil {
+				t.Fatalf("re-marshalled checkpoint does not decode: %v", err)
+			}
+			if !bytes.Equal(marshalCheckpoint(cp2), round) {
+				t.Fatal("checkpoint marshalling not a fixed point")
+			}
+		}
+	})
+}

@@ -1,0 +1,685 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/similarity"
+)
+
+// mkset builds a placement set.
+func mkset(vs ...int) similarity.Set {
+	s := make(similarity.Set, len(vs))
+	for _, v := range vs {
+		s.Add(v)
+	}
+	return s
+}
+
+// testPlanBytes fabricates a small valid plan whose content varies
+// with epoch, returning its canonical bytes and digest. The bytes
+// round-trip through core.ParseCanonical, so verifyPlanBytes accepts
+// them.
+func testPlanBytes(t testing.TB, epoch int64) ([]byte, uint64) {
+	t.Helper()
+	p := &core.Plan{
+		Flows:         []core.FlowEdge{{From: 0, To: 1, Amount: epoch + 3}},
+		Redirects:     []core.Redirect{{From: 1, To: 0, Video: 2, Count: epoch}},
+		Placement:     []similarity.Set{mkset(1, 2), mkset(0)},
+		OverflowToCDN: []int64{0, epoch},
+	}
+	c := p.Canonical()
+	d := core.DigestOf(c)
+	if !verifyPlanBytes(c, d) {
+		t.Fatalf("fabricated plan does not verify")
+	}
+	return c, d
+}
+
+// must adapts a (lsn, error) append result into a fatal check.
+func must(t testing.TB) func(uint64, error) uint64 {
+	return func(lsn uint64, err error) uint64 {
+		if err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		return lsn
+	}
+}
+
+// writeScriptedLog writes a fixed record script through the public
+// API: two scheduled slots, one contract-error slot, and pending
+// demand for the next slot, across two instances.
+func writeScriptedLog(t *testing.T, dir string, segBytes int64) {
+	t.Helper()
+	l, st, err := Open(dir, Options{Policy: PolicyAlways, SegmentBytes: segBytes})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if st.Records != 0 || st.Slot != 0 || st.Plan != nil {
+		t.Fatalf("fresh dir recovered non-empty state: %+v", st)
+	}
+	c0, d0 := testPlanBytes(t, 1)
+	c1, d1 := testPlanBytes(t, 2)
+	m := must(t)
+
+	m(l.AppendIngest(0, 0, 1, 0, 0, 1))
+	m(l.AppendIngest(0, 0, 2, 1, 3, 2))
+	m(l.AppendIngest(0, 1, 1, 2, 1, 1))
+	m(l.AppendAdvance(0))
+	m(l.AppendPlan(0, 1, d0, c0))
+
+	m(l.AppendIngest(1, 0, 3, 0, 2, 1))
+	m(l.AppendAdvance(1))
+	m(l.AppendPlan(1, 2, d1, c1))
+
+	m(l.AppendIngest(2, 1, 2, 3, 1, 1))
+	m(l.AppendAdvance(2))
+	m(l.AppendRoundErr(2))
+
+	lsn := m(l.AppendIngest(3, 0, 4, 1, 1, 1))
+	if err := l.Sync(lsn); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// readSegments returns every retained segment's bytes, in order.
+func readSegments(t *testing.T, dir string) [][]byte {
+	t.Helper()
+	idxs, err := listSegments(dir)
+	if err != nil {
+		t.Fatalf("listing segments: %v", err)
+	}
+	out := make([][]byte, len(idxs))
+	for i, idx := range idxs {
+		data, err := os.ReadFile(filepath.Join(dir, segmentName(idx)))
+		if err != nil {
+			t.Fatalf("reading segment: %v", err)
+		}
+		out[i] = data
+	}
+	return out
+}
+
+// copyDir clones every regular file of src into dst.
+func copyDir(t testing.TB, src, dst string) {
+	t.Helper()
+	des, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatalf("reading %s: %v", src, err)
+	}
+	for _, de := range des {
+		data, err := os.ReadFile(filepath.Join(src, de.Name()))
+		if err != nil {
+			t.Fatalf("copy: %v", err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, de.Name()), data, 0o644); err != nil {
+			t.Fatalf("copy: %v", err)
+		}
+	}
+}
+
+// stateCore projects a State onto its comparable durable content.
+type stateCore struct {
+	Slot            int
+	Epoch           int64
+	PlanSlot        int
+	PlanEpoch       int64
+	PlanDigest      uint64
+	PlanBytes       string
+	Pending         []Entry
+	PendingRequests int64
+	Queue           []QueuedSlot
+	Cursors         map[int]uint64
+}
+
+func coreOf(st *State) stateCore {
+	sc := stateCore{
+		Slot:            st.Slot,
+		Epoch:           st.Epoch,
+		Pending:         st.Pending,
+		PendingRequests: st.PendingRequests,
+		Queue:           st.Queue,
+		Cursors:         st.Cursors,
+	}
+	if st.Plan != nil {
+		sc.PlanSlot = st.Plan.Slot
+		sc.PlanEpoch = st.Plan.Epoch
+		sc.PlanDigest = st.Plan.Digest
+		sc.PlanBytes = string(st.Plan.Canonical)
+	}
+	return sc
+}
+
+func requireStateEqual(t *testing.T, got, want *State, ctx string) {
+	t.Helper()
+	g, w := coreOf(got), coreOf(want)
+	if !reflect.DeepEqual(g, w) {
+		t.Fatalf("%s: recovered state diverged from durable prefix\n got: %+v\nwant: %+v", ctx, g, w)
+	}
+	if got.Plan != nil && !verifyPlanBytes(got.Plan.Canonical, got.Plan.Digest) {
+		t.Fatalf("%s: recovery installed an unverified plan", ctx)
+	}
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	writeScriptedLog(t, dir, DefaultSegmentBytes)
+	l, st, err := Open(dir, Options{Policy: PolicyAlways})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l.Close()
+
+	if st.Slot != 3 {
+		t.Errorf("slot counter %d, want 3", st.Slot)
+	}
+	if st.Epoch != 2 {
+		t.Errorf("epoch %d, want 2", st.Epoch)
+	}
+	c1, d1 := testPlanBytes(t, 2)
+	if st.Plan == nil || st.Plan.Epoch != 2 || st.Plan.Slot != 1 || st.Plan.Digest != d1 || !bytes.Equal(st.Plan.Canonical, c1) {
+		t.Errorf("recovered plan %+v, want slot 1 epoch 2", st.Plan)
+	}
+	wantPending := []Entry{{Hotspot: 1, Video: 1, Count: 1}}
+	if !reflect.DeepEqual(st.Pending, wantPending) {
+		t.Errorf("pending %+v, want %+v", st.Pending, wantPending)
+	}
+	if st.PendingRequests != 1 {
+		t.Errorf("pending requests %d, want 1", st.PendingRequests)
+	}
+	// Slot 2's demand was consumed by the durable contract-error
+	// record, mirroring the live server dropping it.
+	if len(st.Queue) != 0 {
+		t.Errorf("queue %+v, want empty", st.Queue)
+	}
+	wantCursors := map[int]uint64{0: 4, 1: 2}
+	if !reflect.DeepEqual(st.Cursors, wantCursors) {
+		t.Errorf("cursors %v, want %v", st.Cursors, wantCursors)
+	}
+	if st.Records != 12 {
+		t.Errorf("recovered records %d, want 12", st.Records)
+	}
+	if st.TruncatedBytes != 0 {
+		t.Errorf("truncated %d bytes on a clean log", st.TruncatedBytes)
+	}
+}
+
+// TestTornTailRecovery is the truncation half of the crash-injection
+// harness: the final segment is cut at every byte offset, and
+// recovery must (without panicking or erroring) reconstruct exactly
+// the state implied by the surviving valid frame prefix, truncating
+// the tail.
+func TestTornTailRecovery(t *testing.T) {
+	src := t.TempDir()
+	writeScriptedLog(t, src, 192) // forces several segments
+	segs := readSegments(t, src)
+	if len(segs) < 2 {
+		t.Fatalf("want multiple segments, got %d", len(segs))
+	}
+	var prefixRecs []record
+	for _, data := range segs[:len(segs)-1] {
+		rs, v := scanSegment(data)
+		if v != len(data) {
+			t.Fatalf("sealed segment not fully valid")
+		}
+		prefixRecs = append(prefixRecs, rs...)
+	}
+	last := segs[len(segs)-1]
+	scratch := t.TempDir()
+	for off := 0; off <= len(last); off++ {
+		dir := filepath.Join(scratch, "t")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		copyDir(t, src, dir)
+		idxs, _ := listSegments(dir)
+		lastPath := filepath.Join(dir, segmentName(idxs[len(idxs)-1]))
+		if err := os.Truncate(lastPath, int64(off)); err != nil {
+			t.Fatal(err)
+		}
+
+		l, st, err := Open(dir, Options{Policy: PolicyAlways})
+		if err != nil {
+			t.Fatalf("offset %d: recovery failed: %v", off, err)
+		}
+		l.Close()
+
+		rs, validLen := scanSegment(last[:off])
+		want := buildState(nil, append(append([]record(nil), prefixRecs...), rs...))
+		requireStateEqual(t, st, want, "truncate@"+itoa(off))
+		if wantTrunc := int64(off - validLen); st.TruncatedBytes != wantTrunc {
+			t.Fatalf("offset %d: truncated %d bytes, want %d", off, st.TruncatedBytes, wantTrunc)
+		}
+		if err := os.RemoveAll(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCorruptionRecovery is the corruption half of the harness: a
+// single byte is flipped at every offset of every segment. The CRC
+// must catch the damage, and recovery must reconstruct exactly the
+// records preceding the damaged frame — everything after it
+// (including later segments) is discarded.
+func TestCorruptionRecovery(t *testing.T) {
+	src := t.TempDir()
+	writeScriptedLog(t, src, 192)
+	segs := readSegments(t, src)
+	segRecs := make([][]record, len(segs))
+	for i, data := range segs {
+		rs, v := scanSegment(data)
+		if v != len(data) {
+			t.Fatalf("segment %d not fully valid", i)
+		}
+		segRecs[i] = rs
+	}
+	scratch := t.TempDir()
+	for si, data := range segs {
+		ends := frameEnds(data)
+		for off := 0; off < len(data); off++ {
+			dir := filepath.Join(scratch, "c")
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			copyDir(t, src, dir)
+			idxs, _ := listSegments(dir)
+			p := filepath.Join(dir, segmentName(idxs[si]))
+			mut := append([]byte(nil), data...)
+			mut[off] ^= 0x41
+			if err := os.WriteFile(p, mut, 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			l, st, err := Open(dir, Options{Policy: PolicyAlways})
+			if err != nil {
+				t.Fatalf("segment %d offset %d: recovery failed: %v", si, off, err)
+			}
+			l.Close()
+
+			// The flip lands inside some frame; every record before it
+			// (across all earlier segments) survives, nothing after.
+			damaged := 0
+			for damaged < len(ends) && off >= ends[damaged] {
+				damaged++
+			}
+			var want []record
+			for sj := 0; sj < si; sj++ {
+				want = append(want, segRecs[sj]...)
+			}
+			want = append(want, segRecs[si][:damaged]...)
+			requireStateEqual(t, st, buildState(nil, want), "flip@seg"+itoa(si)+"+"+itoa(off))
+			if st.TruncatedBytes <= 0 {
+				t.Fatalf("segment %d offset %d: corruption not counted as truncated tail", si, off)
+			}
+			if err := os.RemoveAll(dir); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// frameEnds returns the cumulative end offset of each frame in a
+// fully valid segment.
+func frameEnds(data []byte) []int {
+	var ends []int
+	off := 0
+	for off < len(data) {
+		n := int(uint32(data[off]) | uint32(data[off+1])<<8 | uint32(data[off+2])<<16 | uint32(data[off+3])<<24)
+		off += frameHeaderBytes + n
+		ends = append(ends, off)
+	}
+	return ends
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+func TestCheckpointCursorSkip(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Policy: PolicyAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := must(t)
+	// Two accepted requests, then a checkpoint that has absorbed them.
+	m(l.AppendIngest(0, 0, 1, 0, 0, 1))
+	lsn := m(l.AppendIngest(0, 0, 2, 1, 1, 1))
+	if err := l.Sync(lsn); err != nil {
+		t.Fatal(err)
+	}
+	mark := l.CurrentSegment()
+	cp := &Checkpoint{
+		Slot:    0,
+		Cursors: map[int]uint64{0: 2},
+		Pending: []Entry{{Hotspot: 0, Video: 0, Count: 1}, {Hotspot: 1, Video: 1, Count: 1}},
+	}
+	if err := l.WriteCheckpoint(cp, mark); err != nil {
+		t.Fatal(err)
+	}
+	// One more accepted request after the checkpoint, then a crash.
+	lsn = m(l.AppendIngest(0, 0, 3, 2, 2, 1))
+	if err := l.Sync(lsn); err != nil {
+		t.Fatal(err)
+	}
+	l.Crash()
+
+	l2, st, err := Open(dir, Options{Policy: PolicyAlways})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer l2.Close()
+	if st.CheckpointSeq != 1 {
+		t.Errorf("checkpoint seq %d, want 1", st.CheckpointSeq)
+	}
+	// seq 1 and 2 must come from the checkpoint only (the log records
+	// are skipped by the cursor), seq 3 from the WAL suffix.
+	want := []Entry{{Hotspot: 0, Video: 0, Count: 1}, {Hotspot: 1, Video: 1, Count: 1}, {Hotspot: 2, Video: 2, Count: 1}}
+	if !reflect.DeepEqual(st.Pending, want) {
+		t.Errorf("pending %+v, want %+v (cursor-skipped replay)", st.Pending, want)
+	}
+	if st.Cursors[0] != 3 {
+		t.Errorf("cursor %d, want 3", st.Cursors[0])
+	}
+}
+
+func TestCheckpointFallbackToOlder(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Policy: PolicyAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, d0 := testPlanBytes(t, 1)
+	if err := l.WriteCheckpoint(&Checkpoint{Slot: 1, Epoch: 1,
+		Plan: &PlanState{Slot: 0, Epoch: 1, Digest: d0, Canonical: c0}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	c1, d1 := testPlanBytes(t, 2)
+	if err := l.WriteCheckpoint(&Checkpoint{Slot: 2, Epoch: 2,
+		Plan: &PlanState{Slot: 1, Epoch: 2, Digest: d1, Canonical: c1}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Damage the newest checkpoint: recovery must fall back to the
+	// older one rather than fail or trust damaged bytes.
+	p := filepath.Join(dir, checkpointName(2))
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, st, err := Open(dir, Options{Policy: PolicyAlways})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer l2.Close()
+	if st.CheckpointSeq != 1 || st.Slot != 1 || st.Epoch != 1 {
+		t.Errorf("fell back to state %+v, want checkpoint 1 (slot 1, epoch 1)", st)
+	}
+	if st.Plan == nil || st.Plan.Digest != d0 {
+		t.Errorf("plan %+v, want the older checkpoint's", st.Plan)
+	}
+}
+
+func TestSegmentRotationAndGC(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	l, _, err := Open(dir, Options{Policy: PolicyAlways, SegmentBytes: 128, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := must(t)
+	for i := 0; i < 40; i++ {
+		m(l.AppendIngest(0, 0, uint64(i+1), i%7, i%11, 1))
+	}
+	if l.CurrentSegment() < 3 {
+		t.Fatalf("expected rotation, still on segment %d", l.CurrentSegment())
+	}
+	mark1 := l.CurrentSegment()
+	if err := l.WriteCheckpoint(&Checkpoint{Slot: 0, Cursors: map[int]uint64{0: 40},
+		Pending: drainEntries(40)}, mark1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 40; i < 60; i++ {
+		m(l.AppendIngest(0, 0, uint64(i+1), i%7, i%11, 1))
+	}
+	mark2 := l.CurrentSegment()
+	if err := l.WriteCheckpoint(&Checkpoint{Slot: 0, Cursors: map[int]uint64{0: 60},
+		Pending: drainEntries(60)}, mark2); err != nil {
+		t.Fatal(err)
+	}
+	// GC lags one checkpoint: segments below mark1 are gone, those
+	// mark1..mark2 retained for the older checkpoint's replay.
+	idxs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idxs) == 0 || idxs[0] != mark1 {
+		t.Errorf("segments %v, want oldest retained = %d", idxs, mark1)
+	}
+	l.Close()
+
+	l2, st, err := Open(dir, Options{Policy: PolicyAlways})
+	if err != nil {
+		t.Fatalf("recovery after GC: %v", err)
+	}
+	defer l2.Close()
+	if st.PendingRequests != 60 || st.Cursors[0] != 60 {
+		t.Errorf("recovered %d pending (cursor %d), want 60/60", st.PendingRequests, st.Cursors[0])
+	}
+}
+
+// drainEntries mirrors the test's ingest pattern as merged entries.
+func drainEntries(n int) []Entry {
+	m := make(map[entryKey]int64)
+	for i := 0; i < n; i++ {
+		m[entryKey{i % 7, i % 11}]++
+	}
+	return sortedEntries(m)
+}
+
+func TestCrashDropsUnsyncedTail(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Policy: PolicyNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn := must(t)(l.AppendIngest(0, 0, 1, 0, 0, 1))
+	if err := l.Sync(lsn); err != nil { // no-op under PolicyNone
+		t.Fatal(err)
+	}
+	l.Crash()
+	l2, st, err := Open(dir, Options{Policy: PolicyNone})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer l2.Close()
+	// The record sat in the user-space buffer; the simulated crash
+	// dropped it. Nothing recovered, nothing corrupted.
+	if st.Records != 0 || st.PendingRequests != 0 {
+		t.Errorf("recovered %d records / %d pending after unflushed crash, want none", st.Records, st.PendingRequests)
+	}
+}
+
+func TestIntervalPolicyFlushes(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Policy: PolicyInterval, Interval: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn := must(t)(l.AppendIngest(0, 0, 1, 3, 4, 2))
+	if err := l.Sync(lsn); err != nil { // returns immediately
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for l.DurableLSN() < lsn {
+		if time.Now().After(deadline) {
+			t.Fatal("interval flusher never made the record durable")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	l.Crash() // buffered writer already flushed by the ticker
+	l2, st, err := Open(dir, Options{Policy: PolicyAlways})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer l2.Close()
+	if st.PendingRequests != 2 {
+		t.Errorf("recovered %d pending requests, want 2 (interval flush)", st.PendingRequests)
+	}
+}
+
+func TestGroupCommitConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Policy: PolicyAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, perG = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				lsn, err := l.AppendIngest(0, g, uint64(i+1), g, i, 1)
+				if err == nil {
+					err = l.Sync(lsn)
+				}
+				if err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	l.Crash() // synced records must all survive a crash
+
+	l2, st, err := Open(dir, Options{Policy: PolicyAlways})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer l2.Close()
+	if st.PendingRequests != goroutines*perG {
+		t.Errorf("recovered %d pending requests, want %d", st.PendingRequests, goroutines*perG)
+	}
+	for g := 0; g < goroutines; g++ {
+		if st.Cursors[g] != perG {
+			t.Errorf("instance %d cursor %d, want %d", g, st.Cursors[g], perG)
+		}
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Policy
+		ok   bool
+	}{
+		{"", PolicyAlways, true},
+		{"always", PolicyAlways, true},
+		{"interval", PolicyInterval, true},
+		{"none", PolicyNone, true},
+		{"sometimes", 0, false},
+		{"ALWAYS", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParsePolicy(c.in)
+		if c.ok != (err == nil) || (c.ok && got != c.want) {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v, ok=%v", c.in, got, err, c.want, c.ok)
+		}
+	}
+	if PolicyInterval.String() != "interval" {
+		t.Errorf("Policy.String: %q", PolicyInterval.String())
+	}
+}
+
+func TestMetricsCounters(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	l, _, err := Open(dir, Options{Policy: PolicyAlways, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn := must(t)(l.AppendIngest(0, 0, 1, 0, 0, 1))
+	if err := l.Sync(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteCheckpoint(&Checkpoint{Slot: 0, Cursors: map[int]uint64{0: 1},
+		Pending: []Entry{{Hotspot: 0, Video: 0, Count: 1}}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if got := reg.Counter("wal.appends").Value(); got != 1 {
+		t.Errorf("wal.appends = %d, want 1", got)
+	}
+	if got := reg.Counter("wal.fsyncs").Value(); got < 1 {
+		t.Errorf("wal.fsyncs = %d, want >= 1", got)
+	}
+	if got := reg.Counter("wal.bytes").Value(); got <= 0 {
+		t.Errorf("wal.bytes = %d, want > 0", got)
+	}
+	if got := reg.Counter("wal.checkpoints").Value(); got != 1 {
+		t.Errorf("wal.checkpoints = %d, want 1", got)
+	}
+
+	reg2 := obs.NewRegistry()
+	l2, st, err := Open(dir, Options{Policy: PolicyAlways, Registry: reg2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := reg2.Counter("wal.recovered_records").Value(); got != int64(st.Records) {
+		t.Errorf("wal.recovered_records = %d, state says %d", got, st.Records)
+	}
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Policy: PolicyAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if _, err := l.AppendAdvance(0); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
